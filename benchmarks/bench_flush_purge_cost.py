@@ -1,0 +1,97 @@
+"""Section 5.1's cost observations about the 720's flush/purge hardware:
+
+* a purge or flush of a resident page costs ~7x a non-resident one
+  (Section 2.3: "up to seven times slower when the data is in the
+  cache");
+* the instruction cache purges in constant time regardless of contents;
+* the 720 purges no faster than it flushes;
+* counterfactual: with a single-cycle page purge, the three benchmarks
+  would save ~0.33% of execution time (paper: 2.26s of 685.8s).
+"""
+
+import numpy as np
+from conftest import SCALE, emit
+
+from repro.analysis.experiments import run_table4
+from repro.hw.cache import Cache
+from repro.hw.params import CacheGeometry, CostModel, MachineConfig
+from repro.hw.physmem import PhysicalMemory
+from repro.hw.stats import Clock, Counters, Reason
+
+
+def measure_costs():
+    geo = CacheGeometry(size=16 * 1024)
+    mem = PhysicalMemory(16, 4096)
+    clock = Clock()
+    dcache = Cache(geo, mem, CostModel(), clock, Counters())
+    icache = Cache(geo, mem, CostModel(), clock, Counters(),
+                   name="icache", is_icache=True)
+
+    # Resident vs non-resident data-cache purge.
+    dcache.read_page(0, 0)
+    t0 = clock.cycles
+    dcache.purge_page_frame(0, 0, Reason.EXPLICIT)
+    resident = clock.cycles - t0
+    t0 = clock.cycles
+    dcache.purge_page_frame(0, 0, Reason.EXPLICIT)
+    absent = clock.cycles - t0
+
+    # Flush of a clean resident page (same tag-check work as purge).
+    dcache.read_page(0, 0)
+    t0 = clock.cycles
+    dcache.flush_page_frame(0, 0, Reason.EXPLICIT)
+    flush_resident = clock.cycles - t0
+
+    # Instruction-cache purge: full vs empty.
+    icache.read_page(4096, 4096)
+    t0 = clock.cycles
+    icache.purge_page_frame(1, 4096, Reason.EXPLICIT)
+    icache_full = clock.cycles - t0
+    t0 = clock.cycles
+    icache.purge_page_frame(1, 4096, Reason.EXPLICIT)
+    icache_empty = clock.cycles - t0
+
+    return resident, absent, flush_resident, icache_full, icache_empty
+
+
+def test_flush_purge_costs(once):
+    resident, absent, flush_resident, icache_full, icache_empty = once(
+        measure_costs)
+
+    ratio = resident / absent
+    lines = [
+        "Section 5.1 flush/purge cost characteristics (regenerated):",
+        f"  dcache purge, page resident:   {resident:>6} cycles",
+        f"  dcache purge, page absent:     {absent:>6} cycles "
+        f"(ratio {ratio:.1f}x; paper: 'up to seven times slower')",
+        f"  dcache flush, clean resident:  {flush_resident:>6} cycles "
+        "(purge no cheaper than flush)",
+        f"  icache purge, full:            {icache_full:>6} cycles",
+        f"  icache purge, empty:           {icache_empty:>6} cycles "
+        "(constant time)",
+    ]
+
+    assert ratio == 7.0
+    assert resident >= flush_resident          # purge no faster than flush
+    assert icache_full == icache_empty         # constant-time icache purge
+
+    # Counterfactual single-cycle purge: rerun kernel-build at F with a
+    # one-cycle page purge and compare (the paper estimates 0.33% saved).
+    fast_purge = MachineConfig(
+        phys_pages=320,
+        cost=CostModel(purge_line_hit=0, purge_line_miss=0,
+                       icache_purge_page=1))
+    normal = run_table4(scale=SCALE,
+                        workload_names=("kernel-build",))["kernel-build"][-1]
+    fast = run_table4(scale=SCALE, config=fast_purge,
+                      workload_names=("kernel-build",))["kernel-build"][-1]
+    saved = normal.seconds - fast.seconds
+    fraction = saved / normal.seconds
+    lines.append(
+        f"  single-cycle purge counterfactual (kernel-build, config F): "
+        f"saves {saved:.4f}s = {100 * fraction:.2f}% "
+        "(paper estimate: 0.33% over the three benchmarks)")
+    emit("flush_purge_cost", "\n".join(lines))
+
+    assert saved >= 0
+    assert fraction < 0.05     # a small effect, as the paper reports

@@ -1,0 +1,34 @@
+"""The Section 2.5 contrived benchmark: one physical page written
+repeatedly through two virtual addresses.
+
+Paper: aligned, 1,000,000 writes complete "in a fraction of a second";
+unaligned, "over 2 minutes" — between two and three orders of magnitude.
+The regenerated series reports cycles per write for both cases and the
+slowdown factor.
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import run_alignment_micro
+from repro.analysis.tables import render_micro
+
+ITERATIONS = 20_000
+
+
+def test_alignment_microbenchmark(once):
+    aligned, unaligned = once(run_alignment_micro, iterations=ITERATIONS)
+    emit("micro_alignment", render_micro(aligned, unaligned))
+
+    # Aligned: no consistency machinery at all.
+    assert aligned.consistency_faults == 0
+    assert aligned.page_flushes == 0
+    assert aligned.page_purges == 0
+    assert aligned.cycles_per_write < 20
+
+    # Unaligned: every alternation faults, flushes, purges.
+    assert unaligned.consistency_faults >= ITERATIONS - 10
+    assert unaligned.page_flushes >= ITERATIONS - 10
+
+    # The paper's factor: "a fraction of a second" vs "over 2 minutes" is
+    # at least ~240x; require two orders of magnitude.
+    assert unaligned.cycles > 100 * aligned.cycles

@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench regenerates one table or figure of the paper's evaluation,
+prints it, and persists it under ``benchmarks/out/`` so the rendered
+artifacts survive the run (pytest captures stdout).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale note: workloads run at SCALE of the paper's size; EXPERIMENTS.md
+records the paper-vs-measured comparison for every artifact produced
+here.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+# Fraction of the paper's workload sizes used for the bench runs; chosen
+# so the full bench suite completes in well under a minute.
+SCALE = 0.5
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered artifact and persist it to benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    The simulations are deterministic, so repeated rounds measure nothing
+    but host noise; one round keeps the suite fast while still recording
+    wall-clock cost per experiment.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

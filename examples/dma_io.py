@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""DMA and the write-back cache: why devices need flushes and purges.
+
+The disk does not snoop the cache (Section 1.1), so:
+
+* before the device *reads* memory (a file write), dirty cache data must
+  be flushed or the platter gets stale bytes;
+* around the device *writing* memory (a file read), cached copies must
+  be purged/staled or the CPU keeps seeing pre-DMA data.
+
+This example performs both transfers correctly, then — in a sandboxed
+kernel with the oracle in recording mode — deliberately skips the
+preparation to show the stale transfer being caught.
+
+Run:  python examples/dma_io.py
+"""
+
+import numpy as np
+
+from repro import Kernel, NEW_SYSTEM
+from repro.kernel.process import UserProcess, fresh_tokens
+
+
+def managed_transfers() -> None:
+    print("=== managed DMA (what the pmap does for you) ===")
+    kernel = Kernel(policy=NEW_SYSTEM)
+    proc = UserProcess(kernel, "dma-demo")
+
+    # File write: CPU data reaches the platter through flush + DMA-read.
+    proc.create("/data/out")
+    fd = proc.open("/data/out")
+    values = fresh_tokens(1024)
+    proc.write_file_page(fd, 0, values)
+    proc.close(fd)
+    kernel.shutdown()   # push write-behind blocks to disk
+    meta = kernel.fs.lookup("/data/out")
+    on_disk = kernel.disk.block(meta.file_id, 0)
+    print(f"  platter matches CPU writes: {np.array_equal(on_disk, values)}")
+
+    # File read: device data reaches the CPU through DMA-write + purge.
+    kernel.fs.create("/data/in", size_pages=1, on_disk=True)
+    fd = proc.open("/data/in")
+    got = proc.read_file_page(fd, 0)
+    print(f"  CPU sees device data:       "
+          f"{np.array_equal(got, kernel.disk.block(kernel.fs.lookup('/data/in').file_id, 0))}")
+    print(f"  dma_reads={kernel.machine.counters.dma_reads}, "
+          f"dma_writes={kernel.machine.counters.dma_writes}, "
+          f"oracle violations={len(kernel.machine.oracle.violations)}")
+    proc.exit()
+
+
+def sabotaged_transfer() -> None:
+    print("\n=== sabotaged DMA (skipping the flush) ===")
+    kernel = Kernel(policy=NEW_SYSTEM)
+    kernel.machine.oracle.record_only = True   # observe, don't raise
+    proc = UserProcess(kernel, "sabotage")
+
+    vpage = proc.task.allocate_anon(1)
+    proc.task.write(vpage, 0, 0xBEEF)          # dirty in the cache only
+    frame = kernel.pmap.page_table(proc.task.asid).lookup(vpage).ppage
+
+    # Schedule the device WITHOUT pmap.prepare_dma_read(frame):
+    observed = kernel.machine.dma.dma_read(frame)
+    violation = kernel.machine.oracle.violations[0]
+    print(f"  device read {int(observed[0]):#x} where the CPU wrote 0xbeef")
+    print(f"  oracle caught it: {violation}")
+    print("  (the pmap's prepare_dma_read flush is what prevents this)")
+
+
+if __name__ == "__main__":
+    managed_transfers()
+    sabotaged_transfer()

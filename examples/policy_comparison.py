@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Run the paper's evaluation: Table 1, Table 4, Table 5 and the
+alignment microbenchmark, regenerated end to end.
+
+This is the whole Section 5 pipeline as a script.  Expect roughly a
+minute of wall-clock time at the default scale.
+
+Run:  python examples/policy_comparison.py [scale]
+"""
+
+import sys
+
+from repro.analysis.experiments import (run_alignment_micro, run_table1,
+                                        run_table4, run_table5_probe)
+from repro.analysis.comparison import render_table5
+from repro.analysis.tables import (render_micro, render_overhead_summary,
+                                   render_table1, render_table4)
+
+
+def main(scale: float = 0.5) -> None:
+    print(f"(workload scale {scale}; see EXPERIMENTS.md for scale notes)\n")
+
+    print(render_table1(run_table1(scale=scale)))
+    print()
+
+    results = run_table4(scale=scale)
+    print(render_table4(results))
+    print()
+    print(render_overhead_summary([m[-1] for m in results.values()]))
+    print()
+
+    aligned, unaligned = run_alignment_micro(iterations=10_000)
+    print(render_micro(aligned, unaligned))
+    print()
+
+    print(render_table5(run_table5_probe(scale=scale)))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.5)

@@ -1,0 +1,131 @@
+"""The experiment runner: workloads × configurations → RunMetrics.
+
+One function per experiment of the evaluation section:
+
+* :func:`run_workload` — boot a kernel under a configuration, run one
+  workload, return its metrics (the primitive everything else uses).
+* :func:`run_table1` — the old-vs-new comparison (Table 1).
+* :func:`run_table4` — the full A–F configuration ladder (Table 4).
+* :func:`run_table5_probe` — behavioural probes for the related-systems
+  comparison (Table 5).
+* :func:`run_alignment_micro` — the contrived Section 2.5 loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.params import MachineConfig
+from repro.kernel.kernel import Kernel
+from repro.vm.policy import (CONFIG_LADDER, NEW_SYSTEM, OLD_SYSTEM,
+                             TABLE5_SYSTEMS, PolicyConfig)
+from repro.workloads.afs_bench import AfsBench
+from repro.workloads.base import Workload
+from repro.workloads.kernel_build import KernelBuild
+from repro.workloads.latex_bench import LatexBench
+from repro.workloads.microbench import AliasLoopResult, run_alias_write_loop
+from repro.analysis.metrics import RunMetrics, diff_metrics, snapshot_counters
+
+
+def evaluation_machine(**overrides) -> MachineConfig:
+    """The machine configuration used for the evaluation runs.
+
+    Physical memory is kept modest (relative to the workloads) so frames
+    recycle through the free list, reproducing the "random physical page
+    from the kernel's free page list" purges that dominate configuration F
+    (Section 5.1).
+    """
+    params = dict(phys_pages=320)
+    params.update(overrides)
+    return MachineConfig(**params)
+
+
+WORKLOADS = {
+    "afs-bench": AfsBench,
+    "latex-paper": LatexBench,
+    "kernel-build": KernelBuild,
+}
+
+
+def make_workload(name: str, scale: float = 1.0) -> Workload:
+    return WORKLOADS[name](scale)
+
+
+def run_workload(workload: Workload, policy: PolicyConfig,
+                 config: MachineConfig | None = None,
+                 buffer_cache_pages: int = 48) -> RunMetrics:
+    """Boot a fresh kernel under ``policy`` and measure one execution."""
+    kernel = Kernel(policy=policy,
+                    config=config or evaluation_machine(),
+                    buffer_cache_pages=buffer_cache_pages)
+    workload.setup(kernel)
+    before = snapshot_counters(kernel.machine.counters)
+    start_cycles = kernel.machine.clock.cycles
+    workload.execute(kernel)
+    cycles = kernel.machine.clock.cycles - start_cycles
+    after = snapshot_counters(kernel.machine.counters)
+    kernel.shutdown()
+    return diff_metrics(policy.name, workload.name, before, after, cycles,
+                        kernel.machine.config.cost)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One benchmark's old-vs-new comparison."""
+
+    workload: str
+    old: RunMetrics
+    new: RunMetrics
+
+    @property
+    def gain_percent(self) -> float:
+        return 100.0 * (self.old.seconds - self.new.seconds) / self.old.seconds
+
+
+def run_table1(scale: float = 1.0,
+               config: MachineConfig | None = None) -> list[Table1Row]:
+    """Table 1: each benchmark on the old and new kernels."""
+    rows = []
+    for name in WORKLOADS:
+        old = run_workload(make_workload(name, scale), OLD_SYSTEM,
+                           config=config)
+        new = run_workload(make_workload(name, scale), NEW_SYSTEM,
+                           config=config)
+        rows.append(Table1Row(name, old, new))
+    return rows
+
+
+def run_table4(scale: float = 1.0,
+               config: MachineConfig | None = None,
+               workload_names: tuple[str, ...] | None = None,
+               ) -> dict[str, list[RunMetrics]]:
+    """Table 4: each benchmark across the six configurations A-F."""
+    results: dict[str, list[RunMetrics]] = {}
+    for name in (workload_names or tuple(WORKLOADS)):
+        results[name] = [
+            run_workload(make_workload(name, scale), policy, config=config)
+            for policy in CONFIG_LADDER
+        ]
+    return results
+
+
+def run_table5_probe(scale: float = 0.5,
+                     config: MachineConfig | None = None) -> list[RunMetrics]:
+    """Measure the Table 5 systems on a common alias/remap-heavy probe
+    (afs-bench), giving behavioural evidence for the qualitative claims."""
+    return [run_workload(AfsBench(scale), system, config=config)
+            for system in TABLE5_SYSTEMS]
+
+
+def run_alignment_micro(iterations: int = 10_000,
+                        policy: PolicyConfig = NEW_SYSTEM,
+                        config: MachineConfig | None = None,
+                        ) -> tuple[AliasLoopResult, AliasLoopResult]:
+    """The Section 2.5 microbenchmark: aligned vs unaligned write loop."""
+    aligned = run_alias_write_loop(
+        Kernel(policy=policy, config=config or evaluation_machine()),
+        iterations, aligned=True)
+    unaligned = run_alias_write_loop(
+        Kernel(policy=policy, config=config or evaluation_machine()),
+        iterations, aligned=False)
+    return aligned, unaligned

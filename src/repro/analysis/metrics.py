@@ -1,0 +1,155 @@
+"""Run metrics: the quantities the paper's tables report.
+
+A :class:`RunMetrics` is a frozen snapshot-difference over one measured
+workload execution: elapsed time, fault counts and costs, flush/purge
+counts and costs split by cache and by reason, and the derived quantities
+quoted in Section 5.1 (total virtually-indexed-cache overhead, DMA-read
+flush share, new-mapping purge share, and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.params import CostModel
+from repro.hw.stats import Counters, FaultKind, Reason
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Count and average cycle cost of one operation class."""
+
+    count: int
+    cycles: int
+
+    @property
+    def avg_cycles(self) -> float:
+        return self.cycles / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Measured quantities for one workload execution."""
+
+    config_name: str
+    workload_name: str
+    cycles: int
+    seconds: float
+
+    mapping_faults: OpCost
+    consistency_faults: OpCost
+
+    dcache_flushes: OpCost
+    dcache_purges: OpCost
+    icache_flushes: OpCost
+    icache_purges: OpCost
+
+    dma_read_flushes: OpCost       # flushes performed to drive DMA-reads
+    d_to_i_flushes: OpCost         # flushes for data->instruction copies
+    new_mapping_purges: OpCost
+    dma_write_purges: OpCost
+    d_to_i_icache_purges: OpCost
+
+    dma_reads: int
+    dma_writes: int
+    d_to_i_copies: int
+    ipc_page_moves: int
+    pages_zero_filled: int
+    pages_copied: int
+
+    @property
+    def page_flushes(self) -> int:
+        return self.dcache_flushes.count + self.icache_flushes.count
+
+    @property
+    def page_purges(self) -> int:
+        return self.dcache_purges.count + self.icache_purges.count
+
+    @property
+    def consistency_overhead_cycles(self) -> int:
+        """Cycles attributable to the cache being virtually indexed:
+        consistency-fault handling plus data-cache purging for reasons
+        other than DMA (Section 5.1's accounting)."""
+        non_dma_purge_cycles = (self.dcache_purges.cycles
+                                - self.dma_write_purges.cycles)
+        return self.consistency_faults.cycles + non_dma_purge_cycles
+
+    @property
+    def architecture_independent_cycles(self) -> int:
+        """Cycles required regardless of cache architecture: DMA-driven
+        flushing/purging and the instruction-space copies."""
+        return (self.dma_read_flushes.cycles + self.dma_write_purges.cycles
+                + self.d_to_i_flushes.cycles
+                + self.d_to_i_icache_purges.cycles)
+
+    @property
+    def consistency_overhead_fraction(self) -> float:
+        return (self.consistency_overhead_cycles / self.cycles
+                if self.cycles else 0.0)
+
+
+def snapshot_counters(counters: Counters) -> dict:
+    """Deep-copy the counter state (for before/after differencing)."""
+    return {
+        "faults": counters.faults.copy(),
+        "fault_cycles": counters.fault_cycles.copy(),
+        "page_flushes": counters.page_flushes.copy(),
+        "page_purges": counters.page_purges.copy(),
+        "flush_cycles": counters.flush_cycles.copy(),
+        "purge_cycles": counters.purge_cycles.copy(),
+        "dma_reads": counters.dma_reads,
+        "dma_writes": counters.dma_writes,
+        "d_to_i_copies": counters.d_to_i_copies,
+        "ipc_page_moves": counters.ipc_page_moves,
+        "pages_zero_filled": counters.pages_zero_filled,
+        "pages_copied": counters.pages_copied,
+    }
+
+
+def diff_metrics(config_name: str, workload_name: str,
+                 before: dict, after: dict,
+                 cycles: int, cost: CostModel) -> RunMetrics:
+    """Build a RunMetrics from counter snapshots around an execution."""
+
+    def _op(kind_counter: str, cycle_counter: str, cache: str | None,
+            reason: Reason | None) -> OpCost:
+        def total(snap, counter):
+            return sum(n for (c, r), n in snap[counter].items()
+                       if (cache is None or c == cache)
+                       and (reason is None or r == reason))
+        return OpCost(total(after, kind_counter) - total(before, kind_counter),
+                      total(after, cycle_counter) - total(before, cycle_counter))
+
+    def _fault(kind: FaultKind) -> OpCost:
+        return OpCost(after["faults"][kind] - before["faults"][kind],
+                      after["fault_cycles"][kind] - before["fault_cycles"][kind])
+
+    return RunMetrics(
+        config_name=config_name,
+        workload_name=workload_name,
+        cycles=cycles,
+        seconds=cost.seconds(cycles),
+        mapping_faults=_fault(FaultKind.MAPPING),
+        consistency_faults=_fault(FaultKind.CONSISTENCY),
+        dcache_flushes=_op("page_flushes", "flush_cycles", "dcache", None),
+        dcache_purges=_op("page_purges", "purge_cycles", "dcache", None),
+        icache_flushes=_op("page_flushes", "flush_cycles", "icache", None),
+        icache_purges=_op("page_purges", "purge_cycles", "icache", None),
+        dma_read_flushes=_op("page_flushes", "flush_cycles", "dcache",
+                             Reason.DMA_READ),
+        d_to_i_flushes=_op("page_flushes", "flush_cycles", "dcache",
+                           Reason.D_TO_I_COPY),
+        new_mapping_purges=_op("page_purges", "purge_cycles", "dcache",
+                               Reason.NEW_MAPPING),
+        dma_write_purges=_op("page_purges", "purge_cycles", "dcache",
+                             Reason.DMA_WRITE),
+        d_to_i_icache_purges=_op("page_purges", "purge_cycles", "icache",
+                                 Reason.D_TO_I_COPY),
+        dma_reads=after["dma_reads"] - before["dma_reads"],
+        dma_writes=after["dma_writes"] - before["dma_writes"],
+        d_to_i_copies=after["d_to_i_copies"] - before["d_to_i_copies"],
+        ipc_page_moves=after["ipc_page_moves"] - before["ipc_page_moves"],
+        pages_zero_filled=(after["pages_zero_filled"]
+                           - before["pages_zero_filled"]),
+        pages_copied=after["pages_copied"] - before["pages_copied"],
+    )

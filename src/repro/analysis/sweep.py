@@ -1,0 +1,72 @@
+"""Parameter sweeps: how the evaluation's shapes move with the machine.
+
+The paper measured one machine (a 720 with a 256 KiB data cache).  The
+simulator can sweep machine parameters and show how the policy trade-offs
+move — most interestingly with cache size: the smaller the cache, the
+more often lazily deferred flush/purge targets have already been evicted
+by natural replacement, which is the effect the paper credits for cheap
+deferred operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.experiments import make_workload, run_workload
+from repro.analysis.metrics import RunMetrics
+from repro.hw.params import CacheGeometry, MachineConfig
+from repro.vm.policy import PolicyConfig
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (cache size, policy) measurement."""
+
+    dcache_kib: int
+    metrics: RunMetrics
+
+    @property
+    def avg_purge_cycles(self) -> float:
+        return self.metrics.dcache_purges.avg_cycles
+
+    @property
+    def avg_flush_cycles(self) -> float:
+        return self.metrics.dcache_flushes.avg_cycles
+
+
+def machine_with_dcache(kib: int, phys_pages: int = 320) -> MachineConfig:
+    """An evaluation machine with a resized data cache (icache scaled to
+    half, as on the 720)."""
+    return MachineConfig(
+        dcache=CacheGeometry(size=kib * 1024),
+        icache=CacheGeometry(size=max(8, kib // 2) * 1024),
+        phys_pages=phys_pages)
+
+
+def sweep_cache_sizes(workload_name: str, policy: PolicyConfig,
+                      sizes_kib: tuple[int, ...] = (32, 64, 128, 256),
+                      scale: float = 0.5) -> list[SweepPoint]:
+    """Run one workload/policy across data-cache sizes."""
+    points = []
+    for kib in sizes_kib:
+        metrics = run_workload(make_workload(workload_name, scale), policy,
+                               config=machine_with_dcache(kib))
+        points.append(SweepPoint(kib, metrics))
+    return points
+
+
+def render_sweep(points_by_policy: dict[str, list[SweepPoint]],
+                 workload_name: str) -> str:
+    """Tabulate a sweep: time and per-operation costs by cache size."""
+    lines = [f"Cache-size sweep, {workload_name}:",
+             f"{'policy':<8} {'dcache':>8} {'time(s)':>9} {'flushes':>8} "
+             f"{'avg cyc':>8} {'purges':>7} {'avg cyc':>8}"]
+    lines.append("-" * 62)
+    for policy_name, points in points_by_policy.items():
+        for point in points:
+            m = point.metrics
+            lines.append(
+                f"{policy_name:<8} {point.dcache_kib:>6}Ki {m.seconds:>9.4f} "
+                f"{m.dcache_flushes.count:>8} {point.avg_flush_cycles:>8.0f} "
+                f"{m.dcache_purges.count:>7} {point.avg_purge_cycles:>8.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Command-line interface: regenerate the paper's evaluation artifacts.
+
+Usage::
+
+    python -m repro table1 [--scale 0.5]
+    python -m repro table2
+    python -m repro table4 [--scale 0.5] [--workload kernel-build]
+    python -m repro table5 [--scale 0.5]
+    python -m repro micro [--iterations 20000]
+    python -m repro run <workload> [--policy F] [--scale 0.5]
+    python -m repro all [--scale 0.5]
+
+Every command prints the regenerated table to stdout; ``run`` executes a
+single workload under a named policy configuration and prints the
+counters the tables are built from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.charts import render_ladder_chart
+from repro.analysis.comparison import render_table5
+from repro.analysis.experiments import (evaluation_machine, make_workload,
+                                        run_alignment_micro, run_table1,
+                                        run_table4, run_table5_probe,
+                                        run_workload)
+from repro.analysis.tables import (render_micro, render_overhead_summary,
+                                   render_table1, render_table4)
+from repro.core.transitions import render_table2
+from repro.vm.policy import by_name
+
+
+def _cmd_table1(args) -> None:
+    print(render_table1(run_table1(scale=args.scale)))
+
+
+def _cmd_table2(args) -> None:
+    print(render_table2())
+
+
+def _cmd_table4(args) -> None:
+    names = (args.workload,) if args.workload else None
+    results = run_table4(scale=args.scale, workload_names=names)
+    print(render_table4(results))
+    print()
+    print(render_overhead_summary([m[-1] for m in results.values()]))
+    if getattr(args, "chart", False):
+        for metrics in results.values():
+            print()
+            print(render_ladder_chart(metrics))
+
+
+def _cmd_table5(args) -> None:
+    print(render_table5(run_table5_probe(scale=args.scale)))
+
+
+def _cmd_micro(args) -> None:
+    aligned, unaligned = run_alignment_micro(iterations=args.iterations)
+    print(render_micro(aligned, unaligned))
+
+
+def _cmd_run(args) -> None:
+    policy = by_name(args.policy)
+    metrics = run_workload(make_workload(args.workload, args.scale), policy,
+                           config=evaluation_machine())
+    print(f"{metrics.workload_name} under configuration {policy.name} "
+          f"({policy.description}):")
+    print(f"  elapsed:            {metrics.seconds:.4f}s "
+          f"({metrics.cycles} cycles)")
+    print(f"  mapping faults:     {metrics.mapping_faults.count}")
+    print(f"  consistency faults: {metrics.consistency_faults.count}")
+    print(f"  dcache flushes:     {metrics.dcache_flushes.count} "
+          f"(DMA {metrics.dma_read_flushes.count}, "
+          f"d->i {metrics.d_to_i_flushes.count})")
+    print(f"  dcache purges:      {metrics.dcache_purges.count} "
+          f"(new-mapping {metrics.new_mapping_purges.count})")
+    print(f"  icache purges:      {metrics.icache_purges.count}")
+    print(f"  DMA:                {metrics.dma_reads} reads, "
+          f"{metrics.dma_writes} writes")
+    print(f"  VI-cache overhead:  "
+          f"{100 * metrics.consistency_overhead_fraction:.3f}%")
+
+
+def _cmd_all(args) -> None:
+    _cmd_table1(args)
+    print()
+    _cmd_table2(args)
+    print()
+    _cmd_table4(argparse.Namespace(scale=args.scale, workload=None))
+    print()
+    _cmd_table5(args)
+    print()
+    _cmd_micro(argparse.Namespace(iterations=10_000))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the evaluation of Wheeler & Bershad, "
+                    "'Consistency Management for Virtually Indexed Caches' "
+                    "(ASPLOS 1992).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, fn, help_text):
+        p = sub.add_parser(name, help=help_text)
+        p.set_defaults(fn=fn)
+        return p
+
+    p = add("table1", _cmd_table1, "old-vs-new benchmark comparison")
+    p.add_argument("--scale", type=float, default=0.5)
+
+    add("table2", _cmd_table2, "the consistency state transition table")
+
+    p = add("table4", _cmd_table4, "the A-F configuration ladder")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--workload",
+                   choices=["afs-bench", "latex-paper", "kernel-build"])
+    p.add_argument("--chart", action="store_true",
+                   help="append ASCII bar charts")
+
+    p = add("table5", _cmd_table5, "the related-systems comparison")
+    p.add_argument("--scale", type=float, default=0.5)
+
+    p = add("micro", _cmd_micro, "the Section 2.5 alignment loop")
+    p.add_argument("--iterations", type=int, default=20_000)
+
+    p = add("run", _cmd_run, "run one workload under one configuration")
+    p.add_argument("workload",
+                   choices=["afs-bench", "latex-paper", "kernel-build"])
+    p.add_argument("--policy", default="F",
+                   help="A..F, G, or a Table 5 system name")
+    p.add_argument("--scale", type=float, default=0.5)
+
+    p = add("all", _cmd_all, "everything")
+    p.add_argument("--scale", type=float, default=0.5)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""The paper's contribution: consistency model, state encoding, algorithm."""
+
+from repro.core.bitvector import BitVector
+from repro.core.cache_control import CacheControl, PerformedOp
+from repro.core.model import ConsistencyModel, RequiredAction
+from repro.core.oracle import ShadowMemory, Violation
+from repro.core.page_state import Mapping, PhysPageState
+from repro.core.states import Action, LineState, MemoryOp
+
+__all__ = [
+    "Action", "LineState", "MemoryOp", "BitVector", "PhysPageState",
+    "Mapping", "ConsistencyModel", "RequiredAction", "CacheControl",
+    "PerformedOp", "ShadowMemory", "Violation",
+]

@@ -1,0 +1,70 @@
+"""Consistency states and memory-system events (Section 3.2).
+
+For any virtual address, a cache line is in one of four states:
+
+* **EMPTY** — the line does not contain the data at that virtual address;
+  an access misses and transfers a value from main memory.
+* **PRESENT** — the line contains the correct data for the address.
+* **DIRTY** — like PRESENT, but the line has been written by the CPU and
+  may be inconsistent with memory or another cache line.
+* **STALE** — the line's data for the cached physical address is
+  inconsistent with a more recently written version in memory or in
+  another cache line.
+
+Six events change consistency state: CPU-read, CPU-write, DMA-read,
+DMA-write, Purge and Flush.  The first four can create inconsistencies;
+the last two resolve them.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LineState(enum.Enum):
+    """The four consistency states of a cache line (or cache page)."""
+
+    EMPTY = "E"
+    PRESENT = "P"
+    DIRTY = "D"
+    STALE = "S"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class MemoryOp(enum.Enum):
+    """The six events of the consistency model."""
+
+    CPU_READ = "CPU-read"
+    CPU_WRITE = "CPU-write"
+    DMA_READ = "DMA-read"       # device reads memory
+    DMA_WRITE = "DMA-write"     # device writes memory
+    PURGE = "Purge"
+    FLUSH = "Flush"
+
+    @property
+    def is_cpu(self) -> bool:
+        return self in (MemoryOp.CPU_READ, MemoryOp.CPU_WRITE)
+
+    @property
+    def is_dma(self) -> bool:
+        return self in (MemoryOp.DMA_READ, MemoryOp.DMA_WRITE)
+
+    @property
+    def is_cache_op(self) -> bool:
+        return self in (MemoryOp.PURGE, MemoryOp.FLUSH)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Action(enum.Enum):
+    """Cache consistency operation required to force a transition."""
+
+    NONE = "-"
+    PURGE = "purge"
+    FLUSH = "flush"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,136 @@
+"""Table 2: the cache-line state transitions, encoded as data.
+
+For each operation applied to a target virtual address, the table gives
+the transition (and required consistency action) for
+
+* the **target** cache line — the one selected by the cache index
+  function for the target virtual address, and
+* **all other** cache lines that share the same physical mapping but do
+  not align with the target.
+
+Normalization notes (documented divergences from the scanned table, whose
+OCR is internally inconsistent; see DESIGN.md):
+
+* For DMA operations the paper states that "all cache lines that contain
+  the physical address referenced by the DMA operation share the same
+  transitions", so the target and other columns are identical for
+  DMA-read and DMA-write.
+* A flush physically removes a line from the cache, so a flushed dirty
+  line transitions to EMPTY.  (The model is allowed to be *pessimistic* —
+  a PRESENT model state for a physically absent line is sound — but the
+  canonical table here uses the precise post-states.)
+* The prose requires that "a CPU-write to a stale line requires purging",
+  after which the written line is DIRTY; the table encodes S -(purge)-> D
+  for the CPU-write target accordingly.
+* A CPU write-allocate fills the rest of the line from memory, so a dirty
+  unaligned alias must be *flushed* (not merely invalidated) before a
+  CPU-read **or** CPU-write through another alias; otherwise the fill
+  would read stale memory.
+"""
+
+from __future__ import annotations
+
+from repro.core.states import Action, LineState, MemoryOp
+
+E, P, D, S = (LineState.EMPTY, LineState.PRESENT, LineState.DIRTY,
+              LineState.STALE)
+NONE, PURGE, FLUSH = Action.NONE, Action.PURGE, Action.FLUSH
+
+# (operation, current state) -> (required action, next state)
+TARGET_TRANSITIONS: dict[tuple[MemoryOp, LineState],
+                         tuple[Action, LineState]] = {
+    (MemoryOp.CPU_READ, E): (NONE, P),
+    (MemoryOp.CPU_READ, P): (NONE, P),
+    (MemoryOp.CPU_READ, D): (NONE, D),
+    (MemoryOp.CPU_READ, S): (PURGE, P),
+
+    (MemoryOp.CPU_WRITE, E): (NONE, D),
+    (MemoryOp.CPU_WRITE, P): (NONE, D),
+    (MemoryOp.CPU_WRITE, D): (NONE, D),
+    (MemoryOp.CPU_WRITE, S): (PURGE, D),
+
+    (MemoryOp.DMA_READ, E): (NONE, E),
+    (MemoryOp.DMA_READ, P): (NONE, P),
+    (MemoryOp.DMA_READ, D): (FLUSH, E),
+    (MemoryOp.DMA_READ, S): (NONE, S),
+
+    (MemoryOp.DMA_WRITE, E): (NONE, E),
+    (MemoryOp.DMA_WRITE, P): (NONE, S),
+    (MemoryOp.DMA_WRITE, D): (PURGE, E),
+    (MemoryOp.DMA_WRITE, S): (NONE, S),
+
+    (MemoryOp.PURGE, E): (NONE, E),
+    (MemoryOp.PURGE, P): (NONE, E),
+    (MemoryOp.PURGE, D): (NONE, E),
+    (MemoryOp.PURGE, S): (NONE, E),
+
+    (MemoryOp.FLUSH, E): (NONE, E),
+    (MemoryOp.FLUSH, P): (NONE, E),
+    (MemoryOp.FLUSH, D): (NONE, E),
+    (MemoryOp.FLUSH, S): (NONE, E),
+}
+
+# Transitions for all similarly mapped but unaligned cache lines.
+OTHER_TRANSITIONS: dict[tuple[MemoryOp, LineState],
+                        tuple[Action, LineState]] = {
+    (MemoryOp.CPU_READ, E): (NONE, E),
+    (MemoryOp.CPU_READ, P): (NONE, P),
+    (MemoryOp.CPU_READ, D): (FLUSH, E),
+    (MemoryOp.CPU_READ, S): (NONE, S),
+
+    (MemoryOp.CPU_WRITE, E): (NONE, E),
+    (MemoryOp.CPU_WRITE, P): (NONE, S),
+    (MemoryOp.CPU_WRITE, D): (FLUSH, E),
+    (MemoryOp.CPU_WRITE, S): (NONE, S),
+
+    # DMA does not go through the cache: same transitions as the target.
+    (MemoryOp.DMA_READ, E): (NONE, E),
+    (MemoryOp.DMA_READ, P): (NONE, P),
+    (MemoryOp.DMA_READ, D): (FLUSH, E),
+    (MemoryOp.DMA_READ, S): (NONE, S),
+
+    (MemoryOp.DMA_WRITE, E): (NONE, E),
+    (MemoryOp.DMA_WRITE, P): (NONE, S),
+    (MemoryOp.DMA_WRITE, D): (PURGE, E),
+    (MemoryOp.DMA_WRITE, S): (NONE, S),
+
+    # Purge/flush of the target address leave other lines unchanged.
+    (MemoryOp.PURGE, E): (NONE, E),
+    (MemoryOp.PURGE, P): (NONE, P),
+    (MemoryOp.PURGE, D): (NONE, D),
+    (MemoryOp.PURGE, S): (NONE, S),
+
+    (MemoryOp.FLUSH, E): (NONE, E),
+    (MemoryOp.FLUSH, P): (NONE, P),
+    (MemoryOp.FLUSH, D): (NONE, D),
+    (MemoryOp.FLUSH, S): (NONE, S),
+}
+
+
+def target_transition(op: MemoryOp,
+                      state: LineState) -> tuple[Action, LineState]:
+    """Required (action, next state) for the target cache line."""
+    return TARGET_TRANSITIONS[(op, state)]
+
+
+def other_transition(op: MemoryOp,
+                     state: LineState) -> tuple[Action, LineState]:
+    """Required (action, next state) for an unaligned similarly mapped line."""
+    return OTHER_TRANSITIONS[(op, state)]
+
+
+def render_table2() -> str:
+    """Regenerate Table 2 as text, in the paper's layout."""
+    lines = ["Operation     | Target line        | Other unaligned lines",
+             "--------------+--------------------+----------------------"]
+    for op in MemoryOp:
+        for i, state in enumerate(LineState):
+            t_act, t_next = TARGET_TRANSITIONS[(op, state)]
+            o_act, o_next = OTHER_TRANSITIONS[(op, state)]
+            t_arrow = (f"{state} -({t_act})-> {t_next}" if t_act != NONE
+                       else f"{state} -> {t_next}")
+            o_arrow = (f"{state} -({o_act})-> {o_next}" if o_act != NONE
+                       else f"{state} -> {o_next}")
+            label = str(op) if i == 0 else ""
+            lines.append(f"{label:<13} | {t_arrow:<18} | {o_arrow}")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Section 3.3: applying the consistency model to other architectures.
+
+The paper shows the model specializes cleanly:
+
+* **Write-through caches** — memory is never stale with respect to the
+  cache, so the Dirty state collapses into Present and the Flush
+  operation disappears.
+* **Physically indexed caches** — all similarly mapped virtual addresses
+  naturally align, so the "other unaligned lines" column is irrelevant;
+  only DMA creates consistency problems.
+* **DMA through the cache** — CPU-read/DMA-read fold into a single *read*
+  and CPU-write/DMA-write into a single *write*, each using the CPU
+  transition rules.
+* **Set-associative caches / cache-coherent multiprocessors** — no rule
+  changes: hardware guarantees a physical tag is unique within a set (or
+  across the distributed set), so the same transitions apply per set.
+
+Each variant here is derived *programmatically* from the canonical
+Table 2, which keeps the derivations honest: the tests assert structural
+facts like "the write-through tables contain no FLUSH action" rather than
+trusting hand-copied tables.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import ConsistencyModel, RequiredAction
+from repro.core.states import Action, LineState, MemoryOp
+from repro.core.transitions import OTHER_TRANSITIONS, TARGET_TRANSITIONS
+from repro.errors import ReproError
+
+TransitionTable = dict[tuple[MemoryOp, LineState], tuple[Action, LineState]]
+
+
+def _collapse_dirty(table: TransitionTable) -> TransitionTable:
+    """Derive a write-through table: drop Dirty rows, map Dirty results to
+    Present.  Flush actions only ever apply to Dirty lines, so none
+    survive the derivation."""
+    out: TransitionTable = {}
+    for (op, state), (action, nxt) in table.items():
+        if state is LineState.DIRTY:
+            continue
+        if nxt is LineState.DIRTY:
+            nxt = LineState.PRESENT
+        out[(op, state)] = (action, nxt)
+    return out
+
+
+WRITE_THROUGH_TARGET: TransitionTable = _collapse_dirty(TARGET_TRANSITIONS)
+WRITE_THROUGH_OTHER: TransitionTable = _collapse_dirty(OTHER_TRANSITIONS)
+
+
+class WriteThroughModel(ConsistencyModel):
+    """The model specialized to a write-through cache: three states, no
+    flushes.  Aliases can still be stale (a write through one alias leaves
+    old data cached under unaligned aliases), so Purge survives."""
+
+    def _apply_with_target(self, op, target):
+        self._check_state_domain()
+        actions: list[RequiredAction] = []
+        for c in range(self.num_cache_pages):
+            if c == target:
+                continue
+            action, nxt = WRITE_THROUGH_OTHER[(op, self.states[c])]
+            if action != Action.NONE:
+                actions.append(RequiredAction(action, c))
+            self.states[c] = nxt
+        action, nxt = WRITE_THROUGH_TARGET[(op, self.states[target])]
+        if action != Action.NONE:
+            actions.append(RequiredAction(action, target))
+        self.states[target] = nxt
+        return actions
+
+    def apply(self, op, target_cache_page=None):
+        if op.is_cpu or op.is_cache_op:
+            if target_cache_page is None:
+                raise ReproError(f"{op} requires a target cache page")
+            return self._apply_with_target(op, target_cache_page)
+        self._check_state_domain()
+        actions: list[RequiredAction] = []
+        for c in range(self.num_cache_pages):
+            action, nxt = WRITE_THROUGH_OTHER[(op, self.states[c])]
+            if action != Action.NONE:
+                actions.append(RequiredAction(action, c))
+            self.states[c] = nxt
+        return actions
+
+    def _check_state_domain(self):
+        if LineState.DIRTY in self.states:
+            raise ReproError("write-through model cannot hold a Dirty line")
+
+
+class PhysicallyIndexedModel:
+    """The model specialized to a physically indexed cache.
+
+    Every alias selects the same cache location, so one state per physical
+    page suffices and only the target column applies.  DMA remains the
+    sole source of inconsistency; the write-back/write-through split is
+    still just the presence or absence of the Dirty state.
+    """
+
+    def __init__(self, write_through: bool = False):
+        self.write_through = write_through
+        self.state = LineState.EMPTY
+
+    def apply(self, op: MemoryOp) -> list[RequiredAction]:
+        table = WRITE_THROUGH_TARGET if self.write_through else TARGET_TRANSITIONS
+        action, nxt = table[(op, self.state)]
+        self.state = nxt
+        if action != Action.NONE:
+            return [RequiredAction(action, 0)]
+        return []
+
+
+class DmaThroughCacheModel(ConsistencyModel):
+    """The model for hardware where DMA accesses go through the cache:
+    CPU-read/DMA-read fold into *read*, CPU-write/DMA-write into *write*,
+    both using the CPU transition rules (the device behaves like another
+    source of CPU accesses through some virtual window)."""
+
+    _FOLD = {
+        MemoryOp.DMA_READ: MemoryOp.CPU_READ,
+        MemoryOp.DMA_WRITE: MemoryOp.CPU_WRITE,
+    }
+
+    def apply(self, op, target_cache_page=None):
+        op = self._FOLD.get(op, op)
+        if target_cache_page is None:
+            raise ReproError(
+                "DMA through the cache addresses a virtual window; "
+                "a target cache page is always required")
+        return super().apply(op, target_cache_page)
+
+
+def set_associative_note() -> str:
+    """Section 3.3's observation for set-associative caches, as checkable
+    documentation: the rules are unchanged because physical tags are
+    unique within a set."""
+    return ("Set-associative caches: consistency rules unchanged; hardware "
+            "guarantees the physical tags within a set are unique, so a "
+            "physical line has at most one copy per set and the per-set "
+            "behaviour matches the direct-mapped model.")
+
+
+def multiprocessor_note() -> str:
+    """Section 3.3's observation for cache-coherent multiprocessors."""
+    return ("Cache-coherent multiprocessors: the per-processor caches form "
+            "a distributed set-associative cache; hardware keeps the "
+            "intra-set (inter-cache) copies consistent, so the transition "
+            "rules again apply without change.")

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class AddressError(ReproError):
+    """An address was out of range or mis-aligned for the requested operation."""
+
+
+class ProtectionError(ReproError):
+    """An access violated the currently installed protection and could not be
+    resolved by the fault handler."""
+
+
+class StaleDataError(ReproError):
+    """The staleness oracle observed the memory system transferring a stale
+    value to the CPU or a DMA device.
+
+    This is the executable form of the paper's correctness condition: a
+    correct consistency policy must never cause this error to be raised.
+    """
+
+    def __init__(self, message: str, *, paddr: int | None = None,
+                 expected: int | None = None, actual: int | None = None):
+        super().__init__(message)
+        self.paddr = paddr
+        self.expected = expected
+        self.actual = actual
+
+
+class FaultLoopError(ReproError):
+    """A memory access kept faulting after repeated resolution attempts,
+    indicating a broken consistency policy or fault handler."""
+
+
+class OutOfMemoryError(ReproError):
+    """The physical free page list was exhausted."""
+
+
+class KernelError(ReproError):
+    """An operating-system level operation failed (bad task, bad file...)."""

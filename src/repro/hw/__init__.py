@@ -1,0 +1,17 @@
+"""The simulated hardware substrate (HP 9000 Series 700 model)."""
+
+from repro.hw.cache import Cache
+from repro.hw.dma import DmaEngine
+from repro.hw.machine import FaultInfo, Machine
+from repro.hw.params import CacheGeometry, CostModel, MachineConfig, small_machine
+from repro.hw.physmem import PhysicalMemory
+from repro.hw.smp import CoherentCluster
+from repro.hw.stats import Clock, Counters, FaultKind, Reason
+from repro.hw.tlb import Tlb, TlbEntry
+
+__all__ = [
+    "Cache", "DmaEngine", "Machine", "FaultInfo", "CacheGeometry",
+    "CostModel", "MachineConfig", "small_machine", "PhysicalMemory",
+    "Clock", "Counters", "FaultKind", "Reason", "Tlb", "TlbEntry",
+    "CoherentCluster",
+]

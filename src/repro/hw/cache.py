@@ -1,0 +1,417 @@
+"""A virtually indexed, physically tagged cache simulator.
+
+This models the HP PA-RISC style cache assumed throughout the paper:
+
+* the *virtual* address selects the set (cache line), so the same physical
+  datum can live in several lines at once when accessed through unaligned
+  aliases — the paper's central consistency hazard;
+* the tag stores the *physical* line number, so aligned aliases hit the
+  same line and are resolved without going to memory (Section 2.2);
+* the data cache is write-back: a dirty line reaches memory only on a
+  victim replacement or an explicit ``flush`` (Section 2.2);
+* the two software-visible management operations are ``flush`` (write back
+  if dirty, then invalidate) and ``purge`` (invalidate without write-back)
+  (Section 1.1).
+
+The simulator moves real word values, so every hazard the paper describes
+(stale reads through one alias after writes through another, lost
+write-backs from doubly-dirty lines, cached data shadowing fresh DMA data)
+is observable as a wrong value, not merely as a flag.
+
+Variants used by Section 3.3 are supported: physical indexing, write-
+through stores, and set associativity (hardware keeps a physical line
+unique within a set).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AddressError, ConfigurationError
+from repro.hw.params import WORD_SIZE, CacheGeometry, CostModel
+from repro.hw.physmem import PhysicalMemory
+from repro.hw.stats import Clock, Counters, Reason
+
+_INVALID = -1
+
+
+class Cache:
+    """One cache (data or instruction) with full content simulation.
+
+    Word-level operations (:meth:`read`, :meth:`write`) model individual
+    CPU accesses.  Page-level operations (:meth:`read_page`,
+    :meth:`write_page`, :meth:`flush_page_frame`, :meth:`purge_page_frame`)
+    are vectorized fast paths with identical semantics to the equivalent
+    word/line loops; the kernel uses them for page preparation and cache
+    management, exactly as Mach's machine-dependent layer loops FDC/PDC
+    over a page.
+    """
+
+    def __init__(self, geometry: CacheGeometry, memory: PhysicalMemory,
+                 cost: CostModel, clock: Clock, counters: Counters,
+                 name: str = "dcache", is_icache: bool = False):
+        if geometry.page_size != memory.page_size:
+            raise ConfigurationError("cache and memory disagree on page size")
+        self.geo = geometry
+        self.memory = memory
+        self.cost = cost
+        self.clock = clock
+        self.counters = counters
+        self.name = name
+        self.is_icache = is_icache
+
+        ways, sets = geometry.associativity, geometry.num_sets
+        self._tags = np.full((ways, sets), _INVALID, dtype=np.int64)
+        self._dirty = np.zeros((ways, sets), dtype=bool)
+        self._data = np.zeros((ways, sets, geometry.words_per_line),
+                              dtype=np.uint64)
+        self._lru = np.zeros((ways, sets), dtype=np.int64)
+        self._tick = 0
+
+    # ---- index helpers -----------------------------------------------------
+
+    def _set_of(self, vaddr: int, paddr: int) -> int:
+        addr = paddr if self.geo.physically_indexed else vaddr
+        return self.geo.set_index(addr)
+
+    def _check_word(self, vaddr: int, paddr: int) -> None:
+        if vaddr % WORD_SIZE or paddr % WORD_SIZE:
+            raise AddressError("cache word access must be word aligned")
+        if vaddr % self.geo.page_size != paddr % self.geo.page_size:
+            raise AddressError(
+                "virtual and physical addresses must share the page offset")
+
+    def _find_way(self, set_idx: int, tag: int) -> int | None:
+        for way in range(self.geo.associativity):
+            if self._tags[way, set_idx] == tag:
+                return way
+        return None
+
+    def _victim_way(self, set_idx: int) -> int:
+        tags = self._tags[:, set_idx]
+        empties = np.flatnonzero(tags == _INVALID)
+        if len(empties):
+            return int(empties[0])
+        return int(np.argmin(self._lru[:, set_idx]))
+
+    def _touch(self, way: int, set_idx: int) -> None:
+        self._tick += 1
+        self._lru[way, set_idx] = self._tick
+
+    def _write_back_line(self, way: int, set_idx: int) -> None:
+        tag = int(self._tags[way, set_idx])
+        self.memory.write_line(tag * self.geo.line_size,
+                               self._data[way, set_idx])
+        self.counters.write_backs += 1
+        self.clock.advance(self.cost.write_back)
+
+    def _evict(self, way: int, set_idx: int) -> None:
+        if self._dirty[way, set_idx]:
+            self._write_back_line(way, set_idx)
+        self._tags[way, set_idx] = _INVALID
+        self._dirty[way, set_idx] = False
+
+    def _fill(self, way: int, set_idx: int, tag: int) -> None:
+        self._tags[way, set_idx] = tag
+        self._data[way, set_idx] = self.memory.read_line(
+            tag * self.geo.line_size, self.geo.words_per_line)
+        self._dirty[way, set_idx] = False
+        self.clock.advance(self.cost.line_fill)
+
+    # ---- word access -------------------------------------------------------
+
+    def read(self, vaddr: int, paddr: int) -> int:
+        """CPU load of the word at (vaddr -> paddr); returns its value."""
+        self._check_word(vaddr, paddr)
+        set_idx = self._set_of(vaddr, paddr)
+        tag = paddr // self.geo.line_size
+        way = self._find_way(set_idx, tag)
+        if way is None:
+            self.counters.read_misses += 1
+            way = self._victim_way(set_idx)
+            self._evict(way, set_idx)
+            self._fill(way, set_idx, tag)
+        else:
+            self.counters.read_hits += 1
+            self.clock.advance(self.cost.cache_hit)
+        self._touch(way, set_idx)
+        word = (paddr % self.geo.line_size) // WORD_SIZE
+        return int(self._data[way, set_idx, word])
+
+    def write(self, vaddr: int, paddr: int, value: int) -> None:
+        """CPU store of the word at (vaddr -> paddr).
+
+        Write-back mode allocates on miss and marks the line dirty;
+        write-through mode propagates the store to memory immediately and
+        never dirties a line (the Section 3.3 write-through variant).
+        """
+        self._check_word(vaddr, paddr)
+        set_idx = self._set_of(vaddr, paddr)
+        tag = paddr // self.geo.line_size
+        way = self._find_way(set_idx, tag)
+        if way is None:
+            self.counters.write_misses += 1
+            way = self._victim_way(set_idx)
+            self._evict(way, set_idx)
+            self._fill(way, set_idx, tag)
+        else:
+            self.counters.write_hits += 1
+            self.clock.advance(self.cost.cache_hit)
+        self._touch(way, set_idx)
+        word = (paddr % self.geo.line_size) // WORD_SIZE
+        self._data[way, set_idx, word] = np.uint64(value)
+        if self.geo.write_through:
+            self.memory.write_word(paddr, value)
+            self.clock.advance(self.cost.write_back)
+        else:
+            self._dirty[way, set_idx] = True
+
+    # ---- page-granularity helpers -------------------------------------------
+
+    def _page_sets(self, cache_page: int) -> slice:
+        if not 0 <= cache_page < self.geo.num_cache_pages:
+            raise AddressError(f"cache page {cache_page} out of range")
+        lpp = self.geo.lines_per_page
+        return slice(cache_page * lpp, (cache_page + 1) * lpp)
+
+    def _page_tags(self, pa_page_base: int) -> np.ndarray:
+        """Tags of the lines of physical page based at ``pa_page_base``, in
+        page-offset order — which is also set order within a cache page,
+        because index bits below the page size come from the page offset."""
+        if pa_page_base % self.geo.page_size:
+            raise AddressError("physical page base must be page aligned")
+        first = pa_page_base // self.geo.line_size
+        return np.arange(first, first + self.geo.lines_per_page, dtype=np.int64)
+
+    def cache_page_of(self, vaddr: int, paddr: int | None = None) -> int:
+        """Cache page an address maps to under this cache's indexing mode."""
+        if self.geo.physically_indexed:
+            if paddr is None:
+                raise AddressError("physically indexed cache needs the paddr")
+            return self.geo.cache_page(paddr)
+        return self.geo.cache_page(vaddr)
+
+    # ---- flush / purge (the two operations the 720 exports, Section 1.1) ---
+
+    def flush_page_frame(self, cache_page: int, pa_page_base: int,
+                         reason: Reason = Reason.EXPLICIT) -> int:
+        """Flush every line of physical page ``pa_page_base`` resident in
+        cache page ``cache_page``: write back the dirty ones, invalidate all
+        matches.  Returns the number of resident lines found.
+
+        Cost model: resident lines cost :attr:`CostModel.flush_line_hit`,
+        absent ones :attr:`CostModel.flush_line_miss` — the paper's
+        "up to seven times slower when the data is in the cache".
+        """
+        sets = self._page_sets(cache_page)
+        want = self._page_tags(pa_page_base)
+        match = self._tags[:, sets] == want            # (ways, lines_per_page)
+        hits = int(match.sum())
+        dirty_match = match & self._dirty[:, sets]
+        n_dirty = int(dirty_match.sum())
+        if n_dirty:
+            ways, lines = np.nonzero(dirty_match)
+            base_word = pa_page_base // WORD_SIZE
+            wpl = self.geo.words_per_line
+            for way, line in zip(ways, lines):
+                pa = pa_page_base + int(line) * self.geo.line_size
+                self.memory.write_line(pa, self._data[way, sets][line])
+            self.counters.write_backs += n_dirty
+        self._tags[:, sets][match] = _INVALID
+        self._dirty[:, sets][match] = False
+        lpp = self.geo.lines_per_page
+        cycles = (hits * self.cost.flush_line_hit
+                  + (lpp - hits) * self.cost.flush_line_miss
+                  + n_dirty * self.cost.write_back)
+        self.clock.advance(cycles)
+        self.counters.record_flush(self.name, reason, cycles)
+        return hits
+
+    def purge_page_frame(self, cache_page: int, pa_page_base: int,
+                         reason: Reason = Reason.EXPLICIT) -> int:
+        """Invalidate, without write-back, every line of the physical page
+        resident in ``cache_page``.  Returns the number of lines discarded.
+
+        The 720's instruction cache purges in constant time regardless of
+        contents (Section 5.1); that quirk is modeled here.
+        """
+        sets = self._page_sets(cache_page)
+        want = self._page_tags(pa_page_base)
+        match = self._tags[:, sets] == want
+        hits = int(match.sum())
+        self._tags[:, sets][match] = _INVALID
+        self._dirty[:, sets][match] = False
+        if self.is_icache:
+            cycles = self.cost.icache_purge_page
+        else:
+            lpp = self.geo.lines_per_page
+            cycles = (hits * self.cost.purge_line_hit
+                      + (lpp - hits) * self.cost.purge_line_miss)
+        self.clock.advance(cycles)
+        self.counters.record_purge(self.name, reason, cycles)
+        return hits
+
+    # ---- vectorized whole-page data movement --------------------------------
+
+    def read_page(self, va_page_base: int, pa_page_base: int) -> np.ndarray:
+        """Read one whole page through the cache (equivalent to a word loop).
+
+        Missing lines are filled (evicting victims); the returned array is
+        the page's current contents as the CPU would observe them.
+        """
+        self._check_page_pair(va_page_base, pa_page_base)
+        if self.geo.associativity > 1:
+            return self._read_page_slow(va_page_base, pa_page_base)
+        cp = self.cache_page_of(va_page_base, pa_page_base)
+        sets = self._page_sets(cp)
+        want = self._page_tags(pa_page_base)
+        tags = self._tags[0, sets]
+        match = tags == want
+        misses = ~match
+        # evict dirty victims occupying the sets we are about to fill
+        victims = misses & (tags != _INVALID) & self._dirty[0, sets]
+        self._write_back_victims(sets, victims)
+        # fill the missing lines from memory
+        mem_page = self.memory.read_page(pa_page_base // self.geo.page_size)
+        lines = mem_page.reshape(self.geo.lines_per_page,
+                                 self.geo.words_per_line)
+        self._data[0, sets][misses] = lines[misses]
+        self._tags[0, sets] = want
+        self._dirty[0, sets][misses] = False
+        n_miss = int(misses.sum())
+        n_hit = self.geo.lines_per_page - n_miss
+        self.counters.read_hits += n_hit
+        self.counters.read_misses += n_miss
+        self.clock.advance(n_hit * self.geo.words_per_line * self.cost.cache_hit
+                           + n_miss * self.cost.line_fill)
+        return self._data[0, sets].reshape(-1).copy()
+
+    def write_page(self, va_page_base: int, pa_page_base: int,
+                   values: np.ndarray) -> None:
+        """Overwrite one whole page through the cache (word-loop equivalent).
+
+        Because every line is written in full, no fill is needed
+        (write-allocate without fetch); dirty victims are written back
+        first.  In write-through mode the values also reach memory and no
+        line is left dirty.
+        """
+        self._check_page_pair(va_page_base, pa_page_base)
+        if len(values) != self.geo.words_per_page:
+            raise AddressError("write_page requires exactly one page of words")
+        if self.geo.associativity > 1:
+            self._write_page_slow(va_page_base, pa_page_base, values)
+            return
+        cp = self.cache_page_of(va_page_base, pa_page_base)
+        sets = self._page_sets(cp)
+        want = self._page_tags(pa_page_base)
+        tags = self._tags[0, sets]
+        victims = (tags != want) & (tags != _INVALID) & self._dirty[0, sets]
+        self._write_back_victims(sets, victims)
+        self._tags[0, sets] = want
+        self._data[0, sets] = np.asarray(values, dtype=np.uint64).reshape(
+            self.geo.lines_per_page, self.geo.words_per_line)
+        n_words = self.geo.words_per_page
+        if self.geo.write_through:
+            self._dirty[0, sets] = False
+            self.memory.write_page(pa_page_base // self.geo.page_size,
+                                   np.asarray(values, dtype=np.uint64))
+            self.clock.advance(n_words * (self.cost.cache_hit
+                                          + self.cost.write_back))
+        else:
+            self._dirty[0, sets] = True
+            self.clock.advance(n_words * self.cost.cache_hit)
+
+    def zero_page(self, va_page_base: int, pa_page_base: int) -> None:
+        """Zero-fill one page through the cache (Section 4.1 page prep)."""
+        self.write_page(va_page_base, pa_page_base,
+                        np.zeros(self.geo.words_per_page, dtype=np.uint64))
+
+    def _write_back_victims(self, sets: slice, victims: np.ndarray) -> None:
+        n = int(victims.sum())
+        if not n:
+            return
+        idxs = np.flatnonzero(victims)
+        for line in idxs:
+            tag = int(self._tags[0, sets][line])
+            self.memory.write_line(tag * self.geo.line_size,
+                                   self._data[0, sets][line])
+        self.counters.write_backs += n
+        self.clock.advance(n * self.cost.write_back)
+
+    # ---- slow generic paths for associative caches ---------------------------
+
+    def _read_page_slow(self, va_base: int, pa_base: int) -> np.ndarray:
+        out = np.empty(self.geo.words_per_page, dtype=np.uint64)
+        for i in range(self.geo.words_per_page):
+            off = i * WORD_SIZE
+            out[i] = self.read(va_base + off, pa_base + off)
+        return out
+
+    def _write_page_slow(self, va_base: int, pa_base: int,
+                         values: np.ndarray) -> None:
+        for i in range(self.geo.words_per_page):
+            off = i * WORD_SIZE
+            self.write(va_base + off, pa_base + off, int(values[i]))
+
+    def _check_page_pair(self, va_base: int, pa_base: int) -> None:
+        if va_base % self.geo.page_size or pa_base % self.geo.page_size:
+            raise AddressError("page operations require page-aligned addresses")
+
+    # ---- coherence snooping (the Section 3.3 multiprocessor extension) -------
+
+    def snoop(self, set_idx: int, tag: int, invalidate: bool) -> str | None:
+        """A coherence probe from another cache in a coherent cluster.
+
+        Looks for the physical line ``tag`` in set ``set_idx`` (the
+        "equivalent cache line", Section 3.3).  If found: a dirty copy is
+        written back to memory; with ``invalidate`` the copy is dropped
+        (another processor is about to write), otherwise it is left clean
+        (another processor is about to read).
+
+        Returns None (not resident), "clean" or "dirty" for what was found.
+        """
+        way = self._find_way(set_idx, tag)
+        if way is None:
+            return None
+        found = "dirty" if self._dirty[way, set_idx] else "clean"
+        if self._dirty[way, set_idx]:
+            self._write_back_line(way, set_idx)
+            self._dirty[way, set_idx] = False
+        if invalidate:
+            self._tags[way, set_idx] = _INVALID
+        return found
+
+    # ---- inspection (tests, invariant checks) --------------------------------
+
+    def resident_lines(self, cache_page: int, pa_page_base: int) -> int:
+        """How many lines of the physical page are resident in ``cache_page``."""
+        sets = self._page_sets(cache_page)
+        want = self._page_tags(pa_page_base)
+        return int((self._tags[:, sets] == want).sum())
+
+    def dirty_lines(self, cache_page: int, pa_page_base: int) -> int:
+        sets = self._page_sets(cache_page)
+        want = self._page_tags(pa_page_base)
+        return int(((self._tags[:, sets] == want)
+                    & self._dirty[:, sets]).sum())
+
+    def dirty_cache_pages(self, pa_page_base: int) -> list[int]:
+        """Cache pages currently holding dirty lines of the physical page."""
+        return [cp for cp in range(self.geo.num_cache_pages)
+                if self.dirty_lines(cp, pa_page_base)]
+
+    def line_value(self, cache_page: int, pa_page_base: int,
+                   line: int) -> np.ndarray | None:
+        """The cached contents of one line, or None if not resident."""
+        sets = self._page_sets(cache_page)
+        want = self._page_tags(pa_page_base)
+        for way in range(self.geo.associativity):
+            if self._tags[way, sets][line] == want[line]:
+                return self._data[way, sets][line].copy()
+        return None
+
+    def invalidate_all(self) -> None:
+        """Power-up purge of the whole cache (Section 3.2: initially all
+        lines are Empty; 'the cache can be purged to ensure this')."""
+        self._tags[:] = _INVALID
+        self._dirty[:] = False

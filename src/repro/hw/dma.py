@@ -1,0 +1,65 @@
+"""A DMA engine that bypasses the caches.
+
+On the HP 9000 Series 700, "I/O devices that rely on DMA do not snoop the
+cache" (Section 1.1).  The engine therefore reads and writes *physical
+memory only*; it is the operating system's job to flush dirty cache data
+before a DMA-read and to purge shadowing cache data around a DMA-write
+(Section 2.4).  Devices (the disk) call these two entry points.
+
+Naming follows the paper: **DMA-write** transfers data from the device
+*into* memory; **DMA-read** transfers data from memory *to* the device.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AddressError
+from repro.hw.params import MachineConfig
+from repro.hw.physmem import PhysicalMemory
+from repro.hw.stats import Clock, Counters
+
+
+class DmaEngine:
+    """Moves whole pages between devices and physical memory."""
+
+    def __init__(self, memory: PhysicalMemory, config: MachineConfig,
+                 clock: Clock, counters: Counters, oracle=None):
+        self.memory = memory
+        self.cost = config.cost
+        self.clock = clock
+        self.counters = counters
+        self.oracle = oracle  # ShadowMemory or None
+
+    def _charge(self, words: int) -> None:
+        self.clock.advance(self.cost.dma_setup + words * self.cost.dma_word)
+
+    def dma_write(self, ppage: int, values: np.ndarray) -> None:
+        """Device -> memory: deposit one page of device data in frame ``ppage``.
+
+        The caller (the kernel's DMA preparation path) must already have
+        ensured no dirty cache line will later overwrite this frame and
+        that stale cached copies will not shadow it from the CPU.
+        """
+        values = np.asarray(values, dtype=np.uint64)
+        if len(values) != self.memory.words_per_page:
+            raise AddressError("DMA transfers whole pages")
+        self.memory.write_page(ppage, values)
+        self.counters.dma_writes += 1
+        self._charge(len(values))
+        if self.oracle is not None:
+            self.oracle.note_dma_write(ppage, values)
+
+    def dma_read(self, ppage: int) -> np.ndarray:
+        """Memory -> device: return the page the device observes.
+
+        If the staleness oracle is installed, the observed page is checked
+        against the program-order contents: a dirty cache line that was
+        never flushed shows up here as a stale transfer (Section 2.4).
+        """
+        values = self.memory.read_page(ppage)
+        self.counters.dma_reads += 1
+        self._charge(len(values))
+        if self.oracle is not None:
+            self.oracle.check_dma_read(ppage, values)
+        return values

@@ -1,0 +1,204 @@
+"""The simulated machine: CPU access paths, TLB, caches, memory, DMA.
+
+The machine implements the HP 9000/700 access pipeline the paper assumes
+(Section 1.1): the TLB translates the virtual page in parallel with the
+virtually-indexed cache lookup, and the physical frame number is compared
+against the cache's physical tag.  In the simulator this appears as:
+translate (TLB, falling back to the page tables, falling back to a fault),
+then access the cache with both the virtual address (for the index) and
+the physical address (for the tag).
+
+The machine knows nothing about consistency policy.  It exposes:
+
+* user-level word accesses (:meth:`read`, :meth:`write`, :meth:`ifetch`)
+  that fault into a pluggable handler when the installed protection denies
+  the access — the mechanism Section 4 uses to catch state transitions;
+* its components (``dcache``, ``icache``, ``memory``, ``dma``, ``tlb``)
+  for the machine-dependent OS layer to drive directly.
+
+If consistency checking is enabled, every transferred value is verified
+against the staleness oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.oracle import ShadowMemory
+from repro.errors import FaultLoopError, ProtectionError
+from repro.hw.cache import Cache
+from repro.hw.dma import DmaEngine
+from repro.hw.params import WORD_SIZE, MachineConfig
+from repro.hw.physmem import PhysicalMemory
+from repro.hw.stats import Clock, Counters
+from repro.hw.tlb import Tlb
+from repro.prot import AccessKind, Prot
+
+MAX_FAULT_RETRIES = 8
+
+
+@dataclass(frozen=True)
+class FaultInfo:
+    """Everything the fault handler learns from the hardware trap."""
+
+    asid: int
+    vaddr: int
+    access: AccessKind
+
+    @property
+    def vpage_addr(self) -> int:
+        return self.vaddr  # page derivation needs the page size; handler's job
+
+
+# (asid, vpage) -> (ppage, prot) or (ppage, prot, uncached) or None
+TranslationSource = Callable[[int, int], Optional[tuple]]
+FaultHandler = Callable[[FaultInfo], None]
+
+
+class Machine:
+    """A uniprocessor with split virtually-indexed I/D caches and DMA."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.page_size = config.page_size
+        self.clock = Clock()
+        self.counters = Counters()
+        self.memory = PhysicalMemory(config.phys_pages, config.page_size)
+        self.oracle = (ShadowMemory(config.phys_pages, config.page_size)
+                       if config.check_consistency else None)
+        self.dcache = Cache(config.dcache, self.memory, config.cost,
+                            self.clock, self.counters, name="dcache")
+        self.icache = Cache(config.icache, self.memory, config.cost,
+                            self.clock, self.counters, name="icache",
+                            is_icache=True)
+        self.tlb = Tlb(config.tlb_entries, config.cost, self.clock,
+                       self.counters)
+        self.dma = DmaEngine(self.memory, config, self.clock, self.counters,
+                             oracle=self.oracle)
+        # Installed by the OS layer.
+        self.translation_source: TranslationSource | None = None
+        self.fault_handler: FaultHandler | None = None
+        # Hardware page-modified bit: invoked with (asid, vpage) on every
+        # successful store.  Section 4.1's implementation uses the modified
+        # bit to set cache_dirty without taking a write fault when a page's
+        # mapping is already writable.
+        self.write_notifier: Callable[[int, int], None] | None = None
+
+    # ---- translation with fault retry ---------------------------------------
+
+    def _translate(self, asid: int, vaddr: int,
+                   access: AccessKind) -> tuple[int, bool]:
+        """Translate a virtual address, faulting into the OS as needed.
+
+        Returns (physical address, uncached).  Raises
+        :class:`FaultLoopError` if the handler fails to make progress, and
+        :class:`ProtectionError` if no handler is installed.
+        """
+        vpage = vaddr // self.page_size
+        needed = access.required
+        for _ in range(MAX_FAULT_RETRIES):
+            entry = self.tlb.lookup(asid, vpage)
+            if entry is None and self.translation_source is not None:
+                translation = self.translation_source(asid, vpage)
+                if translation is not None:
+                    ppage, prot, *rest = translation
+                    self.tlb.insert(asid, vpage, ppage, prot,
+                                    uncached=bool(rest and rest[0]))
+                    entry = self.tlb.lookup(asid, vpage)
+            if entry is not None and entry.prot.allows(needed):
+                return (entry.ppage * self.page_size
+                        + vaddr % self.page_size, entry.uncached)
+            if self.fault_handler is None:
+                raise ProtectionError(
+                    f"{access.value} of va {vaddr:#x} in asid {asid} denied "
+                    f"and no fault handler installed")
+            self.fault_handler(FaultInfo(asid, vaddr, access))
+        raise FaultLoopError(
+            f"{access.value} of va {vaddr:#x} in asid {asid} still faulting "
+            f"after {MAX_FAULT_RETRIES} resolution attempts")
+
+    # ---- user-level CPU accesses ---------------------------------------------
+
+    def read(self, asid: int, vaddr: int) -> int:
+        """CPU load through the data cache (or straight from memory for
+        an uncached mapping)."""
+        paddr, uncached = self._translate(asid, vaddr, AccessKind.READ)
+        if uncached:
+            value = self.memory.read_word(paddr)
+            self.clock.advance(self.config.cost.uncached_word)
+        else:
+            value = self.dcache.read(vaddr, paddr)
+        if self.oracle is not None:
+            self.oracle.check_cpu_read(paddr, value)
+        return value
+
+    def write(self, asid: int, vaddr: int, value: int) -> None:
+        """CPU store through the data cache."""
+        paddr, uncached = self._translate(asid, vaddr, AccessKind.WRITE)
+        if self.write_notifier is not None:
+            self.write_notifier(asid, vaddr // self.page_size)
+        if uncached:
+            self.memory.write_word(paddr, value)
+            self.clock.advance(self.config.cost.uncached_word)
+        else:
+            self.dcache.write(vaddr, paddr, value)
+        if self.oracle is not None:
+            self.oracle.note_cpu_write(paddr, value)
+
+    def ifetch(self, asid: int, vaddr: int) -> int:
+        """Instruction fetch through the instruction cache."""
+        paddr, _ = self._translate(asid, vaddr, AccessKind.EXECUTE)
+        value = self.icache.read(vaddr, paddr)
+        if self.oracle is not None:
+            self.oracle.check_cpu_read(paddr, value)
+        return value
+
+    # ---- user-level page-granularity accesses (vectorized word loops) --------
+
+    def read_page(self, asid: int, va_page_base: int) -> np.ndarray:
+        paddr, uncached = self._translate(asid, va_page_base,
+                                          AccessKind.READ)
+        if uncached:
+            values = self.memory.read_page(paddr // self.page_size)
+            self.clock.advance(self.config.cost.uncached_word
+                               * self.memory.words_per_page)
+        else:
+            values = self.dcache.read_page(va_page_base, paddr)
+        if self.oracle is not None:
+            self.oracle.check_page_read(paddr, values)
+        return values
+
+    def write_page(self, asid: int, va_page_base: int,
+                   values: np.ndarray) -> None:
+        paddr, uncached = self._translate(asid, va_page_base,
+                                          AccessKind.WRITE)
+        if self.write_notifier is not None:
+            self.write_notifier(asid, va_page_base // self.page_size)
+        if uncached:
+            self.memory.write_page(paddr // self.page_size,
+                                    np.asarray(values, dtype=np.uint64))
+            self.clock.advance(self.config.cost.uncached_word
+                               * self.memory.words_per_page)
+        else:
+            self.dcache.write_page(va_page_base, paddr, values)
+        if self.oracle is not None:
+            self.oracle.note_page_write(paddr, values)
+
+    # ---- time ------------------------------------------------------------------
+
+    def consume(self, cycles: int) -> None:
+        """Model computation unrelated to the memory system."""
+        self.clock.advance(cycles)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.config.cost.seconds(self.clock.cycles)
+
+    # ---- convenience ------------------------------------------------------------
+
+    def word_addr(self, vaddr: int, word: int) -> int:
+        """Byte address of the ``word``-th word relative to ``vaddr``."""
+        return vaddr + word * WORD_SIZE

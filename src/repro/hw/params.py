@@ -1,0 +1,199 @@
+"""Hardware parameters: cache geometry, cycle-cost model, machine config.
+
+The defaults model the HP 9000 Series 700 Model 720 used in the paper:
+a 50 MHz PA-RISC with separate, direct-mapped, virtually indexed,
+physically tagged caches; the data cache is write-back.  The quantitative
+quirks the paper reports are encoded in :class:`CostModel`:
+
+* a purge or flush of a virtual address can be *up to seven times slower*
+  when the data is resident in the cache (Section 2.3),
+* the 720 "appears to purge no more quickly than it flushes" (Section 5.1),
+* purging the instruction cache takes *constant time* regardless of its
+  contents (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size and shape of one cache and of the paging system it serves.
+
+    Attributes:
+        size: total cache capacity in bytes.
+        line_size: cache line size in bytes.
+        page_size: virtual-memory page size in bytes.
+        associativity: number of ways (1 = direct mapped).
+        physically_indexed: select the set with the physical, not virtual,
+            address (the Section 3.3 "physically indexed" variant).
+        write_through: propagate every store to memory immediately (the
+            Section 3.3 "write-through" variant; there is no Dirty state).
+    """
+
+    size: int = 256 * 1024
+    line_size: int = 32
+    page_size: int = 4096
+    associativity: int = 1
+    physically_indexed: bool = False
+    write_through: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("size", "line_size", "page_size", "associativity"):
+            if not _is_pow2(getattr(self, name)):
+                raise ConfigurationError(f"{name} must be a power of two, "
+                                         f"got {getattr(self, name)}")
+        if self.line_size % WORD_SIZE:
+            raise ConfigurationError("line_size must be a multiple of the word size")
+        if self.page_size % self.line_size:
+            raise ConfigurationError("page_size must be a multiple of line_size")
+        if self.size % (self.line_size * self.associativity):
+            raise ConfigurationError("size must divide evenly into ways of lines")
+        if self.way_span % self.page_size:
+            raise ConfigurationError(
+                "each way must span a whole number of pages so that cache "
+                "pages are well defined (the paper's first hardware "
+                "requirement, Section 4)")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    @property
+    def way_span(self) -> int:
+        """Bytes of address space covered by one way before indices repeat."""
+        return self.num_sets * self.line_size
+
+    @property
+    def num_cache_pages(self) -> int:
+        """Number of cache pages: cache-way span divided by the page size.
+
+        All virtual pages whose page numbers are congruent modulo this value
+        *align* in the cache (Section 2.2).
+        """
+        return self.way_span // self.page_size
+
+    @property
+    def lines_per_page(self) -> int:
+        return self.page_size // self.line_size
+
+    @property
+    def words_per_line(self) -> int:
+        return self.line_size // WORD_SIZE
+
+    @property
+    def words_per_page(self) -> int:
+        return self.page_size // WORD_SIZE
+
+    def set_index(self, addr: int) -> int:
+        """Set selected by an address (virtual or physical per indexing mode)."""
+        return (addr // self.line_size) % self.num_sets
+
+    def cache_page(self, addr: int) -> int:
+        """Cache page selected by an address (Section 4: the set of cache
+        lines onto which the index function maps all addresses of a page)."""
+        return (addr // self.page_size) % self.num_cache_pages
+
+    def aligned(self, addr_a: int, addr_b: int) -> bool:
+        """True if two addresses select the same cache page (they *align*)."""
+        return self.cache_page(addr_a) == self.cache_page(addr_b)
+
+
+WORD_SIZE = 4  # bytes per word; the unit of CPU loads/stores in the simulator
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs for memory-system events.
+
+    These are calibrated to reproduce the *relationships* the paper reports,
+    not the absolute cycle counts of a real 720 (see DESIGN.md Section 5).
+    """
+
+    clock_hz: int = 50_000_000          # Model 720 runs at 50 MHz
+    cache_hit: int = 1
+    line_fill: int = 20                 # miss penalty: fetch a line from memory
+    write_back: int = 20                # store a dirty victim line to memory
+    tlb_hit: int = 0
+    tlb_miss: int = 25                  # software TLB refill walk
+
+    # Flush/purge of a single line.  Resident lines cost ~7x more than
+    # non-resident ones (Section 2.3); on the 720 purges are no cheaper
+    # than flushes (Section 5.1), so the defaults are identical.
+    flush_line_miss: int = 1
+    flush_line_hit: int = 7
+    purge_line_miss: int = 1
+    purge_line_hit: int = 7
+
+    # The 720 purges its instruction cache in constant time regardless of
+    # contents (Section 5.1).  Cost per page-sized purge of the icache.
+    icache_purge_page: int = 128
+
+    uncached_word: int = 20             # word access that bypasses the cache
+    fault_overhead: int = 300           # trap + dispatch + return for any fault
+    dma_setup: int = 200                # programming a DMA transfer
+    dma_word: int = 1                   # per-word device transfer time
+
+    def seconds(self, cycles: int) -> float:
+        """Convert a cycle count into seconds of 50 MHz machine time."""
+        return cycles / self.clock_hz
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete description of the simulated machine.
+
+    Attributes:
+        dcache: geometry of the data cache (write-back on the 720).
+        icache: geometry of the instruction cache (never dirty).
+        phys_pages: number of physical page frames.
+        tlb_entries: TLB capacity.
+        cost: the cycle-cost model.
+        check_consistency: install the staleness oracle; every value the
+            memory system transfers to the CPU or a device is checked.
+    """
+
+    dcache: CacheGeometry = field(default_factory=CacheGeometry)
+    icache: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(size=128 * 1024))
+    phys_pages: int = 2048
+    tlb_entries: int = 128
+    cost: CostModel = field(default_factory=CostModel)
+    check_consistency: bool = True
+
+    def __post_init__(self) -> None:
+        if self.dcache.page_size != self.icache.page_size:
+            raise ConfigurationError("I and D caches must agree on page size")
+        if self.phys_pages <= 0:
+            raise ConfigurationError("phys_pages must be positive")
+
+    @property
+    def page_size(self) -> int:
+        return self.dcache.page_size
+
+
+def small_machine(**overrides) -> MachineConfig:
+    """A small configuration convenient for unit tests.
+
+    4 KiB pages, a 16 KiB direct-mapped data cache (4 cache pages) and an
+    8 KiB instruction cache (2 cache pages), 64 physical pages.
+    """
+    params = dict(
+        dcache=CacheGeometry(size=16 * 1024),
+        icache=CacheGeometry(size=8 * 1024),
+        phys_pages=64,
+        tlb_entries=16,
+    )
+    params.update(overrides)
+    return MachineConfig(**params)

@@ -1,0 +1,85 @@
+"""A software-managed translation lookaside buffer.
+
+The TLB caches page-table entries: (address-space id, virtual page) ->
+(physical page, effective protection).  The consistency algorithm depends
+on being able to *revoke* access to a page (Section 2.3: "other structures,
+however, such as TLB and page table entries, must be invalidated to deny
+access to the data in the memory system"), so the machine-dependent layer
+invalidates TLB entries whenever it changes a mapping or its protection.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.hw.params import CostModel
+from repro.hw.stats import Clock, Counters
+from repro.prot import Prot
+
+
+@dataclass(frozen=True)
+class TlbEntry:
+    """A cached translation with its effective protection.
+
+    ``uncached`` marks a mapping whose accesses bypass the cache entirely
+    — the Sun system's fallback for unaligned aliases outside
+    well-behaved kernel code (Section 6: "Otherwise, aliases must be
+    uncached").
+    """
+
+    ppage: int
+    prot: Prot
+    uncached: bool = False
+
+
+class Tlb:
+    """Fully associative TLB with FIFO replacement.
+
+    Replacement policy is deliberately simple: the evaluation depends on
+    TLB *invalidation semantics*, not on TLB hit rates.
+    """
+
+    def __init__(self, entries: int, cost: CostModel, clock: Clock,
+                 counters: Counters):
+        self.capacity = entries
+        self.cost = cost
+        self.clock = clock
+        self.counters = counters
+        self._map: OrderedDict[tuple[int, int], TlbEntry] = OrderedDict()
+
+    def lookup(self, asid: int, vpage: int) -> TlbEntry | None:
+        """Return the cached entry, or None on a TLB miss."""
+        entry = self._map.get((asid, vpage))
+        if entry is not None:
+            self.counters.tlb_hits += 1
+            self.clock.advance(self.cost.tlb_hit)
+        else:
+            self.counters.tlb_misses += 1
+            self.clock.advance(self.cost.tlb_miss)
+        return entry
+
+    def insert(self, asid: int, vpage: int, ppage: int, prot: Prot,
+               uncached: bool = False) -> None:
+        key = (asid, vpage)
+        if key in self._map:
+            del self._map[key]
+        elif len(self._map) >= self.capacity:
+            self._map.popitem(last=False)
+        self._map[key] = TlbEntry(ppage, prot, uncached)
+
+    def invalidate(self, asid: int, vpage: int) -> None:
+        self._map.pop((asid, vpage), None)
+
+    def invalidate_asid(self, asid: int) -> None:
+        for key in [k for k in self._map if k[0] == asid]:
+            del self._map[key]
+
+    def invalidate_all(self) -> None:
+        self._map.clear()
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._map

@@ -1,0 +1,18 @@
+"""OS services: tasks, IPC, buffer cache, file system, disk, Unix server."""
+
+from repro.kernel.buffer_cache import BufferCache
+from repro.kernel.disk import Disk
+from repro.kernel.exec_loader import ExecLoader, Program
+from repro.kernel.filesystem import FileMeta, FileSystem
+from repro.kernel.ipc import transfer_page
+from repro.kernel.pageout import PageoutDaemon
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import UserProcess, fresh_tokens
+from repro.kernel.task import Task, fork_task
+from repro.kernel.unix_server import Channel, UnixServer
+
+__all__ = [
+    "Kernel", "Task", "fork_task", "UserProcess", "fresh_tokens",
+    "transfer_page", "BufferCache", "Disk", "FileSystem", "FileMeta",
+    "ExecLoader", "Program", "UnixServer", "Channel", "PageoutDaemon",
+]

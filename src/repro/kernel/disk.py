@@ -1,0 +1,72 @@
+"""A DMA disk.
+
+The disk moves whole pages between its platters and physical memory using
+the DMA engine, which bypasses the caches (Section 1.1: "I/O devices that
+rely on DMA do not snoop the cache").  Before each transfer it invokes
+the pmap's DMA preparation — the flush-before-DMA-read and
+purge-around-DMA-write obligations of Section 2.4.
+
+Platter contents are real word arrays, so a missing flush before a disk
+write stores stale data and the oracle (checking what the device reads)
+catches it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import KernelError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+
+
+def synthetic_block(file_id: int, page: int, words_per_page: int) -> np.ndarray:
+    """Deterministic initial contents for a pre-existing file block."""
+    base = np.uint64((file_id << 40) | (page << 20) | 0x5A5A)
+    return base + np.arange(words_per_page, dtype=np.uint64)
+
+
+class Disk:
+    """Page-granularity storage addressed by (file id, file page)."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self._blocks: dict[tuple[int, int], np.ndarray] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def preload(self, file_id: int, npages: int) -> None:
+        """Create a file's blocks directly on the platter (a file that
+        existed before the benchmark started)."""
+        wpp = self.kernel.machine.memory.words_per_page
+        for page in range(npages):
+            self._blocks[(file_id, page)] = synthetic_block(file_id, page, wpp)
+
+    def read_block(self, file_id: int, page: int, ppage: int) -> None:
+        """Disk -> memory: a DMA-write into frame ``ppage``."""
+        block = self._blocks.get((file_id, page))
+        if block is None:
+            raise KernelError(f"disk: no block for file {file_id} page {page}")
+        self.kernel.pmap.prepare_dma_write(ppage)
+        self.kernel.machine.dma.dma_write(ppage, block)
+        self.reads += 1
+
+    def write_block(self, file_id: int, page: int, ppage: int) -> None:
+        """Memory -> disk: a DMA-read from frame ``ppage``."""
+        self.kernel.pmap.prepare_dma_read(ppage)
+        self._blocks[(file_id, page)] = self.kernel.machine.dma.dma_read(ppage)
+        self.writes += 1
+
+    def has_block(self, file_id: int, page: int) -> bool:
+        return (file_id, page) in self._blocks
+
+    def block(self, file_id: int, page: int) -> np.ndarray:
+        """Platter contents, for verification in tests."""
+        return self._blocks[(file_id, page)].copy()
+
+    def discard(self, file_id: int) -> None:
+        for key in [k for k in self._blocks if k[0] == file_id]:
+            del self._blocks[key]

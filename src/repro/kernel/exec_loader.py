@@ -1,0 +1,93 @@
+"""Program loading: the data-to-instruction-space copy path.
+
+"When a process faults on an instruction page, the file system copies the
+faulted page from its buffer cache into a page in the faulting process'
+address space.  That copy operation writes into the data cache, yet the
+page is needed in the instruction cache.  The page must therefore be
+flushed from the data cache before it can be used." (Section 5.1.)
+
+The loader maps a program's text as lazily faulted TEXT pages; each text
+fault reads the block through the buffer cache, copies it into a private
+frame (writing the data cache), and installs the page with the mandatory
+data-cache flush and instruction-cache purge (``pmap.install_text_page``).
+This is the dual-cache aliasing problem that exists even with physically
+indexed caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import KernelError
+from repro.vm.address_space import PageDescriptor, PageKind
+from repro.vm.prot import Prot
+from repro.vm.vm_object import Backing, VMObject
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.task import Task
+
+
+@dataclass(frozen=True)
+class Program:
+    """An executable: a file whose first pages are text, plus a bss size."""
+
+    name: str
+    file_id: int
+    text_pages: int
+    data_pages: int
+
+
+class ExecLoader:
+    """Creates program images in task address spaces."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self._programs: dict[str, Program] = {}
+
+    def register_program(self, name: str, text_pages: int,
+                         data_pages: int) -> Program:
+        """Install an executable file (on disk) and describe its layout."""
+        meta = self.kernel.fs.create(f"/bin/{name}", size_pages=text_pages,
+                                     on_disk=True)
+        program = Program(name, meta.file_id, text_pages, data_pages)
+        self._programs[name] = program
+        return program
+
+    def program(self, name: str) -> Program:
+        try:
+            return self._programs[name]
+        except KeyError:
+            raise KernelError(f"no such program: {name!r}") from None
+
+    def exec_into(self, task: "Task", program: Program) -> tuple[int, int]:
+        """Map a program into a task: lazily faulted text plus anonymous
+        data.  Returns (text start vpage, data start vpage).
+
+        Each exec gets its own text object: as in the paper's system, text
+        pages are copied out of the buffer cache per faulting process.
+        """
+        text_object = VMObject(program.text_pages, Backing.FILE,
+                               file_id=program.file_id)
+        text_start = task.space.allocate_vpages(program.text_pages)
+        for i in range(program.text_pages):
+            task.space.map_page(text_start + i, PageDescriptor(
+                PageKind.TEXT, text_object, i, Prot.READ_EXEC))
+        data_start = task.allocate_anon(max(program.data_pages, 1))
+        return text_start, data_start
+
+    def text_fault(self, task: "Task", vpage: int,
+                   descriptor: PageDescriptor) -> None:
+        """Resolve an instruction fault on a TEXT page."""
+        vm_object = descriptor.vm_object
+        frame = vm_object.resident_page(descriptor.obj_page)
+        if frame is None:
+            bc_frame = self.kernel.buffer_cache.read_block(
+                vm_object.file_id, descriptor.obj_page)
+            self.kernel.buffer_cache.tick()
+            frame = self.kernel.allocate_frame(
+                color=task.space.cache_page_of(vpage))
+            self.kernel.pmap.copy_page(bc_frame, frame, ultimate_vpage=vpage)
+            vm_object.establish(descriptor.obj_page, frame)
+        self.kernel.pmap.install_text_page(task.asid, vpage, frame)

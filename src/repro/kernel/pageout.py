@@ -1,0 +1,109 @@
+"""The pageout daemon: reclaiming frames to backing store.
+
+Paging exercises the consistency machinery end to end: evicting a page
+breaks every mapping (lazily or eagerly per policy), pushes the frame to
+the swap area with a DMA-read (which must flush dirty cache data —
+Section 2.4), and the later page-in is a DMA-write into a recycled frame
+(whose stale cache state the new-mapping rules must handle).  The paper's
+survey notes the Sun system "uses the fact that a physical page is dirty
+to avoid a redundant cache flush" at pageout — here that falls out of the
+DMA-read rules for free.
+
+Reclamation runs at operation boundaries (syscalls, buffer-cache ticks),
+never in the middle of a page-preparation path, so a copy's source frame
+cannot be swapped out from under it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.hw.stats import Reason
+from repro.vm.vm_object import VMObject
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+
+#: disk "file" holding swapped pages (file-system ids start at 1)
+SWAP_FILE_ID = 0
+
+
+class PageoutDaemon:
+    """FIFO reclamation of anonymous pages under memory pressure."""
+
+    def __init__(self, kernel: "Kernel", low_water: int = 8,
+                 reclaim_batch: int = 4):
+        self.kernel = kernel
+        self.low_water = low_water
+        self.reclaim_batch = reclaim_batch
+        self._candidates: deque[tuple[VMObject, int]] = deque()
+        self._swap_slots = itertools.count(0)
+        self.pinned: set[int] = set()
+        self.pages_swapped_out = 0
+        self.pages_swapped_in = 0
+
+    # ---- bookkeeping -------------------------------------------------------------
+
+    def track(self, vm_object: VMObject, obj_page: int) -> None:
+        """Register a newly resident anonymous page as reclaimable."""
+        self._candidates.append((vm_object, obj_page))
+
+    # ---- reclamation ----------------------------------------------------------------
+
+    def maybe_reclaim(self) -> int:
+        """Reclaim a batch of pages if the free list is low; returns the
+        number of frames freed."""
+        if len(self.kernel.free_list) >= self.low_water:
+            return 0
+        return self.reclaim(self.reclaim_batch)
+
+    def reclaim(self, target: int) -> int:
+        freed = 0
+        scanned = 0
+        limit = len(self._candidates)
+        while freed < target and scanned < limit and self._candidates:
+            vm_object, obj_page = self._candidates.popleft()
+            scanned += 1
+            if vm_object.ref_count == 0:
+                continue   # object is dying; its frames free elsewhere
+            frame = vm_object.resident_page(obj_page)
+            if frame is None:
+                continue   # already evicted (or moved)
+            if frame in self.pinned:
+                # In use by an in-flight kernel operation (e.g. the source
+                # of a copy-on-write duplication); try again later.
+                self._candidates.append((vm_object, obj_page))
+                continue
+            self._evict_page(vm_object, obj_page, frame)
+            freed += 1
+        return freed
+
+    def _evict_page(self, vm_object: VMObject, obj_page: int,
+                    frame: int) -> None:
+        """Break the mappings, swap the frame out, free it."""
+        pmap = self.kernel.pmap
+        state = pmap.page_states.get(frame)
+        if state is not None:
+            for mapping in list(state.mappings):
+                pmap.remove(mapping.asid, mapping.vpage,
+                            reason=Reason.PAGEOUT)
+        slot = next(self._swap_slots)
+        # DMA-read to the swap area: the disk path flushes dirty cache
+        # data first (prepare_dma_read), so only genuinely dirty pages
+        # cost a flush — the "redundant cache flush" avoidance for free.
+        self.kernel.disk.write_block(SWAP_FILE_ID, slot, frame)
+        vm_object.swap_slots[obj_page] = slot
+        vm_object.evict(obj_page)
+        self.kernel.free_frame(frame)
+        self.pages_swapped_out += 1
+
+    # ---- page-in --------------------------------------------------------------------
+
+    def swap_in(self, vm_object: VMObject, obj_page: int,
+                frame: int) -> None:
+        """Fill a freshly allocated frame from the swap area."""
+        slot = vm_object.swap_slots.pop(obj_page)
+        self.kernel.disk.read_block(SWAP_FILE_ID, slot, frame)
+        self.pages_swapped_in += 1

@@ -1,0 +1,243 @@
+"""The user-level Unix server.
+
+Mach 3.0 provides Unix functionality through a server running at user
+level (Section 2.5).  Two of its behaviours matter to the evaluation:
+
+* **Shared syscall channels** — the server "allocates and shares several
+  pages of memory with each Unix process ... as a high-bandwidth,
+  low-latency channel".  The original server demanded these pages at
+  fixed virtual addresses in both spaces, so they did not align and every
+  request/reply exchange took consistency faults; the fixed behaviour
+  lets the VM system choose (aligned) addresses (Section 4.2).
+* **File I/O through IPC page transfer** — file data moves between the
+  server and its clients as remapped pages (the Section 4.2 IPC path),
+  with the server staging data out of the buffer cache via the page-
+  preparation path (copy with an ultimate-address hint).
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import KernelError
+from repro.kernel.ipc import transfer_page
+from repro.vm.address_space import PageDescriptor, PageKind
+from repro.vm.prot import Prot
+from repro.vm.vm_object import Backing, VMObject
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.task import Task
+
+# Cycles of server/kernel path length per syscall, independent of the
+# memory-system events the simulator charges explicitly.
+SYSCALL_BASE_CYCLES = 3000
+
+# Where the original server demanded each process map its channel page.
+CHANNEL_FIXED_PROC_VPAGE = 0x40
+# Fixed base of the server's own channel region (both old and new).
+CHANNEL_SERVER_BASE_VPAGE = 0x2000
+
+
+@dataclass
+class Channel:
+    """One process's shared syscall page, mapped in both address spaces."""
+
+    server_vpage: int
+    proc_vpage: int
+
+
+class UnixServer:
+    """Serves open/stat/read/write/close for user processes."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.task = kernel.create_task("unix-server")
+        self.metadata_vpage = self.task.allocate_anon(8)
+        self._channels: dict[int, Channel] = {}
+        self._fds: dict[tuple[int, int], str] = {}
+        self._fd_counter = itertools.count(3)
+        self._seq = itertools.count(1)
+        self.syscalls = 0
+
+    # ---- process attachment -----------------------------------------------------
+
+    def attach(self, proc_task: "Task") -> Channel:
+        """Create the shared channel page for a new process."""
+        if proc_task.asid in self._channels:
+            raise KernelError(f"{proc_task.name} already attached")
+        channel_object = VMObject(1, Backing.ZERO_FILL)
+        if self.kernel.policy.global_address_space:
+            server_vpage = self.task.map_shared(channel_object,
+                                                Prot.READ_WRITE)
+            proc_vpage = proc_task.map_shared(channel_object,
+                                              Prot.READ_WRITE)
+            channel = Channel(server_vpage, proc_vpage)
+            self._channels[proc_task.asid] = channel
+            return channel
+        server_vpage = CHANNEL_SERVER_BASE_VPAGE + len(self._channels)
+        self.task.map_shared(channel_object, Prot.READ_WRITE,
+                             fixed_vpage=server_vpage)
+        if self.kernel.policy.align_server_pages:
+            proc_vpage = proc_task.map_shared(
+                channel_object, Prot.READ_WRITE,
+                color=self.task.space.cache_page_of(server_vpage))
+        else:
+            proc_vpage = proc_task.map_shared(
+                channel_object, Prot.READ_WRITE,
+                fixed_vpage=CHANNEL_FIXED_PROC_VPAGE)
+        channel = Channel(server_vpage, proc_vpage)
+        self._channels[proc_task.asid] = channel
+        return channel
+
+    def detach(self, proc_task: "Task") -> None:
+        channel = self._channels.pop(proc_task.asid, None)
+        if channel is None:
+            return
+        self.task.unmap(channel.server_vpage)
+        for key in [k for k in self._fds if k[0] == proc_task.asid]:
+            del self._fds[key]
+
+    # ---- the request/reply exchange over the shared page ---------------------------
+
+    def _roundtrip(self, proc_task: "Task", opcode: int,
+                   args: tuple[int, ...] = ()) -> None:
+        """One syscall exchange: the process writes a request into the
+        shared page, the server reads it, writes a reply, and the process
+        reads the reply.  With unaligned channel pages every direction
+        change is a consistency fault."""
+        channel = self._channels.get(proc_task.asid)
+        if channel is None:
+            raise KernelError(f"{proc_task.name} has no syscall channel")
+        seq = next(self._seq)
+        request = (opcode, seq) + args[:2]
+        for i, value in enumerate(request):
+            proc_task.write(channel.proc_vpage, i, value)
+        for i in range(len(request)):
+            self.task.read(channel.server_vpage, i)
+        # ... the server performs the operation, then replies ...
+        self.task.write(channel.server_vpage, 8, seq)
+        self.task.write(channel.server_vpage, 9, 0)
+        proc_task.read(channel.proc_vpage, 8)
+        proc_task.read(channel.proc_vpage, 9)
+        self.kernel.machine.consume(SYSCALL_BASE_CYCLES)
+        self.syscalls += 1
+        self.kernel.pageout.maybe_reclaim()
+
+    def _touch_metadata(self, name: str) -> None:
+        """Server-internal bookkeeping: hash the name into the metadata
+        region and update an entry (inode cache, name cache, ...).
+
+        Uses a stable hash (crc32) so runs are deterministic across
+        processes — Python's ``hash()`` is seeded per interpreter.
+        """
+        h = zlib.crc32(name.encode()) & 0x7FFFFFFF
+        page = self.metadata_vpage + (h % 8)
+        word = (h >> 3) % 256
+        self.task.write(page, word, h)
+        self.task.read(page, word)
+
+    # ---- syscalls -----------------------------------------------------------------------
+
+    def sys_create(self, proc_task: "Task", name: str) -> None:
+        self._roundtrip(proc_task, 1)
+        self.kernel.fs.create(name)
+        self._touch_metadata(name)
+
+    def sys_open(self, proc_task: "Task", name: str) -> int:
+        self._roundtrip(proc_task, 2)
+        self.kernel.fs.lookup(name)
+        self._touch_metadata(name)
+        fd = next(self._fd_counter)
+        self._fds[(proc_task.asid, fd)] = name
+        return fd
+
+    def sys_close(self, proc_task: "Task", fd: int) -> None:
+        self._roundtrip(proc_task, 3)
+        self._fds.pop((proc_task.asid, fd), None)
+
+    def sys_stat(self, proc_task: "Task", name: str) -> None:
+        self._roundtrip(proc_task, 4)
+        self.kernel.fs.lookup(name)
+        self._touch_metadata(name)
+
+    def sys_read_page(self, proc_task: "Task", fd: int, page: int) -> int:
+        """Read one page of a file; returns the vpage where the data
+        arrives in the process (an IPC-transferred page)."""
+        self._roundtrip(proc_task, 5, (fd, page))
+        name = self._fd_name(proc_task, fd)
+        bc_frame = self.kernel.fs.read_page_frame(name, page)
+        staging_vpage = self._stage_outgoing(bc_frame)
+        return transfer_page(self.kernel, self.task, staging_vpage, proc_task)
+
+    def sys_write_page(self, proc_task: "Task", fd: int, page: int,
+                       src_vpage: int) -> None:
+        """Write one page of process data to a file: the page is moved to
+        the server by IPC, copied into the buffer cache, and retired."""
+        self._roundtrip(proc_task, 6, (fd, page))
+        name = self._fd_name(proc_task, fd)
+        meta = self.kernel.fs.lookup(name)
+        staging_vpage = transfer_page(self.kernel, proc_task, src_vpage,
+                                      self.task)
+        descriptor = self.task.space.descriptor(staging_vpage)
+        frame = descriptor.vm_object.resident_page(descriptor.obj_page)
+        if frame is None:
+            raise KernelError("written page was never touched by the sender")
+        self.kernel.buffer_cache.write_block_from_frame(
+            meta.file_id, page, frame)
+        if page >= meta.size_pages:
+            meta.size_pages = page + 1
+        self.kernel.buffer_cache.tick()
+        self._retire_staging(staging_vpage)
+
+    def sys_remove(self, proc_task: "Task", name: str) -> None:
+        self._roundtrip(proc_task, 7)
+        self.kernel.fs.remove(name)
+        self._touch_metadata(name)
+
+    # ---- staging helpers ------------------------------------------------------------------
+
+    def _stage_outgoing(self, bc_frame: int) -> int:
+        """Copy a buffer-cache block into a fresh message page mapped at a
+        server staging address (the preparation aligns with the staging
+        address under optimization D, and IPC will align the receiver with
+        the staging address under optimization C)."""
+        staging_vpage = self.task.space.allocate_vpages(1)
+        color = None
+        if self.kernel.policy.colored_free_list:
+            color = self.task.space.cache_page_of(staging_vpage)
+        frame = self.kernel.allocate_frame(color)
+        self.kernel.pmap.copy_page(bc_frame, frame,
+                                   ultimate_vpage=staging_vpage)
+        message_object = VMObject(1, Backing.ZERO_FILL)
+        message_object.establish(0, frame)
+        self.task.space.map_page(staging_vpage, PageDescriptor(
+            PageKind.IPC, message_object, 0, Prot.READ_WRITE))
+        return staging_vpage
+
+    def _retire_staging(self, staging_vpage: int) -> None:
+        """Release a message page the server has finished consuming.  The
+        page was *moved* here (the sender unmapped it at transfer), so the
+        server holds the only mapping and can free the frame."""
+        descriptor = self.task.space.descriptor(staging_vpage)
+        vm_object = descriptor.vm_object
+        if staging_vpage in self.kernel.pmap.page_table(self.task.asid):
+            self.kernel.pmap.remove(self.task.asid, staging_vpage)
+        self.task.space.unmap_page(staging_vpage)
+        if vm_object.ref_count == 0:
+            self.kernel.release_object_if_dead(vm_object)
+        else:
+            frame = vm_object.resident_page(descriptor.obj_page)
+            if frame is not None:
+                vm_object.evict(descriptor.obj_page)
+                self.kernel.free_frame(frame)
+
+    def _fd_name(self, proc_task: "Task", fd: int) -> str:
+        try:
+            return self._fds[(proc_task.asid, fd)]
+        except KeyError:
+            raise KernelError(
+                f"{proc_task.name}: fd {fd} is not open") from None

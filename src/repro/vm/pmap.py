@@ -1,0 +1,521 @@
+"""The machine-dependent VM layer (Mach's ``pmap``), hosting the
+consistency policy.
+
+Everything Section 4 describes lives here:
+
+* the per-physical-page state (:class:`PhysPageState`) and the Figure 1
+  :class:`CacheControl` engine;
+* mapping entry/removal with lazy or eager cache cleaning;
+* page preparation (``zero_fill_page`` / ``copy_page``) with the
+  ultimate-virtual-address alignment hint (optimization D) and the
+  ``need_data`` / ``will_overwrite`` semantic flags (optimizations E, F);
+* DMA preparation (flush before a DMA-read, purge around a DMA-write);
+* text installation with the mandatory data-to-instruction-space flush
+  and instruction-cache purge (Section 5.1);
+* the page-modified-bit shortcut of Section 4.1.
+
+The pmap is policy-parameterized: the same code implements the paper's
+"new" system (configuration F), the "old" eager system (configuration A),
+every rung of the B–F ladder, and the Tut per-virtual-address emulation —
+the flags come from :class:`repro.vm.policy.PolicyConfig`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cache_control import CacheControl
+from repro.core.page_state import Mapping, PhysPageState
+from repro.core.states import LineState, MemoryOp
+from repro.errors import KernelError, ReproError
+from repro.hw.machine import Machine
+from repro.hw.stats import Reason
+from repro.vm.pagetable import PageTable, PageTableEntry
+from repro.vm.policy import PolicyConfig
+from repro.vm.prot import AccessKind, Prot
+
+
+class Pmap:
+    """Machine-dependent mapping layer with pluggable consistency policy."""
+
+    def __init__(self, machine: Machine, policy: PolicyConfig):
+        self.machine = machine
+        self.policy = policy
+        self.page_size = machine.page_size
+        self.ncp = machine.dcache.geo.num_cache_pages
+        self.nicp = machine.icache.geo.num_cache_pages
+        self.page_states: dict[int, PhysPageState] = {}
+        self.page_tables: dict[int, PageTable] = {}
+        self.engine = CacheControl(
+            self._flush_cache_page, self._purge_cache_page,
+            self._set_protection,
+            eager_purge_stale=policy.eager_purge_stale)
+        machine.translation_source = self.translate
+        machine.write_notifier = self.note_modified
+
+    # ---- plumbing -------------------------------------------------------------
+
+    def state_of(self, ppage: int) -> PhysPageState:
+        state = self.page_states.get(ppage)
+        if state is None:
+            state = PhysPageState(ppage, self.ncp, self.nicp)
+            state.pa_indexed = self.machine.dcache.geo.physically_indexed
+            state.ipa_indexed = self.machine.icache.geo.physically_indexed
+            self.page_states[ppage] = state
+        return state
+
+    def page_table(self, asid: int) -> PageTable:
+        table = self.page_tables.get(asid)
+        if table is None:
+            table = PageTable(asid)
+            self.page_tables[asid] = table
+        return table
+
+    def destroy_page_table(self, asid: int) -> None:
+        self.page_tables.pop(asid, None)
+        self.machine.tlb.invalidate_asid(asid)
+
+    def cache_page_of(self, vpage: int) -> int:
+        return vpage % self.ncp
+
+    def _pa_base(self, ppage: int) -> int:
+        return ppage * self.page_size
+
+    # ---- CacheControl callbacks --------------------------------------------------
+
+    def _flush_cache_page(self, cache_page: int, ppage: int,
+                          reason: Reason) -> None:
+        self.machine.dcache.flush_page_frame(cache_page,
+                                             self._pa_base(ppage), reason)
+
+    def _purge_cache_page(self, cache_page: int, ppage: int,
+                          reason: Reason) -> None:
+        self.machine.dcache.purge_page_frame(cache_page,
+                                             self._pa_base(ppage), reason)
+
+    def _set_protection(self, mapping: Mapping, prot: Prot | None) -> None:
+        if prot is None:
+            return  # DMA stanza: leave the installed protection in place
+        pte = self.page_table(mapping.asid).lookup(mapping.vpage)
+        if pte is None:
+            return  # mapping record without a PTE cannot be accessed anyway
+        if pte.cache_prot != prot:
+            pte.cache_prot = prot
+            self.machine.tlb.invalidate(mapping.asid, mapping.vpage)
+
+    # ---- hardware hooks ------------------------------------------------------------
+
+    def translate(self, asid: int,
+                  vpage: int) -> tuple[int, Prot, bool] | None:
+        """TLB refill: (physical page, effective protection, uncached)."""
+        pte = self.page_table(asid).lookup(vpage)
+        if pte is None:
+            return None
+        return pte.ppage, pte.effective_prot, pte.uncached
+
+    def note_modified(self, asid: int, vpage: int) -> None:
+        """Hardware page-modified bit: a store went through this mapping."""
+        pte = self.page_table(asid).lookup(vpage)
+        if pte is None:  # pragma: no cover - store cannot succeed unmapped
+            return
+        state = self.state_of(pte.ppage)
+        mapping = state.find_mapping(asid, vpage)
+        if mapping is not None:
+            mapping.modified = True
+        # A CPU write makes any instruction-cache copies stale.
+        self._note_icache_write(state)
+
+    def sync_modified(self, state: PhysPageState) -> None:
+        """Fold hardware modified bits into ``cache_dirty`` (Section 4.1:
+        set cache_dirty when the page-modified bit is set and the number
+        of mapped bits is one)."""
+        for mapping in state.mappings:
+            if mapping.modified:
+                mapping.modified = False
+                if state.mapped.count() == 1:
+                    state.cache_dirty = True
+                elif state.mapped.count() > 1:
+                    raise ReproError(
+                        f"frame {state.ppage}: modified bit with "
+                        f"{state.mapped.count()} mapped cache pages")
+
+    def _note_icache_write(self, state: PhysPageState) -> None:
+        if state.imapped.any():
+            state.istale.or_with(state.imapped)
+            state.imapped.clear_all()
+
+    def _post_engine(self, state: PhysPageState) -> None:
+        """Policy variant without the modified-bit shortcut: once no cache
+        page is dirty, writable consistency protections must be revoked so
+        the next store is trapped and re-dirties the bookkeeping."""
+        if self.policy.use_modified_bit or state.cache_dirty:
+            return
+        for mapping in state.mappings:
+            pte = self.page_table(mapping.asid).lookup(mapping.vpage)
+            if pte is not None and pte.cache_prot.allows(Prot.WRITE):
+                pte.cache_prot = Prot.READ
+                self.machine.tlb.invalidate(mapping.asid, mapping.vpage)
+
+    # ---- mapping entry / removal ----------------------------------------------------
+
+    def enter(self, asid: int, vpage: int, ppage: int, vm_prot: Prot,
+              access: AccessKind, *,
+              reason: Reason = Reason.NEW_MAPPING) -> PageTableEntry:
+        """Create a translation and run the consistency algorithm for the
+        access that provoked it."""
+        state = self.state_of(ppage)
+        self.sync_modified(state)
+        if state.uncached and not state.mappings:
+            # A frame that lived its previous life uncached starts clean.
+            state.uncached = False
+        if self.policy.uncached_aliases and self._needs_uncached(state,
+                                                                 vpage):
+            return self._enter_uncached(state, asid, vpage, ppage, vm_prot,
+                                        reason)
+        if state.uncached:
+            # The frame's other mappings are already uncached; join them.
+            state.add_mapping(asid, vpage)
+            pte = self.page_table(asid).enter(vpage, ppage, vm_prot,
+                                              cache_prot=Prot.READ_WRITE)
+            pte.uncached = True
+            state.last_vpage = vpage
+            self.machine.tlb.invalidate(asid, vpage)
+            return pte
+        if self.policy.tut_equal_va_only:
+            self._tut_clean(state, vpage, reason)
+        if self.policy.eager_break_aliases:
+            self._eager_break(state, asid, vpage, access)
+        state.add_mapping(asid, vpage)
+        pte = self.page_table(asid).enter(vpage, ppage, vm_prot,
+                                          cache_prot=Prot.NONE)
+        op = (MemoryOp.CPU_WRITE if access is AccessKind.WRITE
+              else MemoryOp.CPU_READ)
+        if op is MemoryOp.CPU_WRITE:
+            self._note_icache_write(state)
+        self.engine(state, op, vpage, reason=reason)
+        self._post_engine(state)
+        state.last_vpage = vpage
+        self.machine.tlb.invalidate(asid, vpage)
+        return pte
+
+    def _needs_uncached(self, state: PhysPageState, vpage: int) -> bool:
+        """Sun-style policy: an unaligned alias set turns uncached."""
+        new_c = state.cache_page_of(vpage)
+        return any(state.cache_page_of(m.vpage) != new_c
+                   for m in state.mappings)
+
+    def _enter_uncached(self, state: PhysPageState, asid: int, vpage: int,
+                        ppage: int, vm_prot: Prot,
+                        reason: Reason) -> PageTableEntry:
+        """Convert every mapping of the frame to uncached access.
+
+        Cached data is cleaned out first (the most recent version may be
+        dirty in some cache page), then all translations — existing and
+        new — bypass the cache, so aliasing needs no further management
+        at the price of slow accesses.
+        """
+        if state.cache_dirty:
+            w = state.find_mapped_cache_page()
+            self._flush_cache_page(w, state.ppage, reason)
+            state.cache_dirty = False
+        for cp in set(state.mapped.indices()) | set(state.stale.indices()):
+            self._purge_cache_page(cp, state.ppage, reason)
+        state.mapped.clear_all()
+        state.stale.clear_all()
+        state.uncached = True
+        self.machine.counters.pages_made_uncached += 1
+        for mapping in state.mappings:
+            pte = self.page_table(mapping.asid).lookup(mapping.vpage)
+            if pte is not None:
+                pte.uncached = True
+                pte.cache_prot = Prot.READ_WRITE
+                self.machine.tlb.invalidate(mapping.asid, mapping.vpage)
+        state.add_mapping(asid, vpage)
+        pte = self.page_table(asid).enter(vpage, ppage, vm_prot,
+                                          cache_prot=Prot.READ_WRITE)
+        pte.uncached = True
+        state.last_vpage = vpage
+        self.machine.tlb.invalidate(asid, vpage)
+        return pte
+
+    def remove(self, asid: int, vpage: int,
+               reason: Reason = Reason.UNMAP_EAGER) -> int:
+        """Remove a translation; returns the physical page.
+
+        Under a lazy policy this only invalidates the TLB and page-table
+        entries ("it is not necessary to purge or flush the cache of data
+        when a virtual address is unmapped", Section 2.3); the page state
+        persists so a later aligned reuse costs nothing.  Under an eager
+        policy the page is cleaned out of the cache now.
+        """
+        pte = self.page_table(asid).remove(vpage)
+        self.machine.tlb.invalidate(asid, vpage)
+        state = self.state_of(pte.ppage)
+        self.sync_modified(state)
+        state.remove_mapping(asid, vpage)
+        c = state.cache_page_of(vpage)
+        state.last_cache_page = c
+        state.last_vpage = vpage
+        if not self.policy.lazy_unmap:
+            self._eager_clean(state, c, reason)
+        return pte.ppage
+
+    def protect(self, asid: int, vpage: int, vm_prot: Prot) -> None:
+        """Change the VM protection of an installed mapping (e.g. write-
+        protecting for copy-on-write)."""
+        pte = self.page_table(asid).lookup(vpage)
+        if pte is None:
+            raise KernelError(f"protect of unmapped vpage {vpage}")
+        pte.vm_prot = vm_prot
+        self.machine.tlb.invalidate(asid, vpage)
+
+    def _eager_clean(self, state: PhysPageState, cache_page: int,
+                     reason: Reason) -> None:
+        """The old system's unmap behaviour: "whenever a virtual to
+        physical mapping is broken, the page is removed from the cache with
+        a flush (if dirty) or a purge" (Section 2.5).
+
+        The old system keeps no cache-page state, so the operation is
+        unconditional — this is exactly the eagerness the lazy model
+        eliminates.  (Residual state from other cache pages is still swept
+        when the last mapping goes, as Utah/Apollo/Sun do.)
+        """
+        targets = {cache_page}
+        if not state.mappings:
+            targets.update(state.mapped.indices())
+            targets.update(state.stale.indices())
+        for cp in sorted(targets):
+            if state.decode(cp) is LineState.DIRTY:
+                self._flush_cache_page(cp, state.ppage, reason)
+                state.cache_dirty = False
+            else:
+                self._purge_cache_page(cp, state.ppage, reason)
+            state.mapped[cp] = False
+            state.stale[cp] = False
+
+    def _eager_break(self, state: PhysPageState, asid: int, vpage: int,
+                     access: AccessKind) -> None:
+        """Section 2.5's old system: a write to an aliased page breaks all
+        other mappings; a read breaks any writable mapping."""
+        for mapping in list(state.mappings):
+            if mapping.asid == asid and mapping.vpage == vpage:
+                continue
+            pte = self.page_table(mapping.asid).lookup(mapping.vpage)
+            writable = pte is not None and pte.effective_prot.allows(Prot.WRITE)
+            if access is AccessKind.WRITE or writable:
+                if pte is not None:
+                    self.remove(mapping.asid, mapping.vpage,
+                                reason=Reason.ALIAS_WRITE)
+                else:
+                    state.remove_mapping(mapping.asid, mapping.vpage)
+
+    def _tut_clean(self, state: PhysPageState, vpage: int,
+                   reason: Reason) -> None:
+        """Tut keeps consistency state per *virtual address*: only reusing
+        the exact previous address avoids cache operations; an aligned but
+        different address still flushes the old page and purges the new
+        (Section 6)."""
+        if state.last_vpage is None or state.last_vpage == vpage:
+            return
+        old_c = state.cache_page_of(state.last_vpage)
+        new_c = state.cache_page_of(vpage)
+        # Dirty data must reach memory wherever it lives (it may sit at a
+        # preparation window's cache page rather than the old mapping's).
+        if state.cache_dirty:
+            w = state.find_mapped_cache_page()
+            self._flush_cache_page(w, state.ppage, reason)
+            state.cache_dirty = False
+            state.mapped[w] = False
+        for c in sorted({old_c, new_c}):
+            self._purge_cache_page(c, state.ppage, reason)
+            state.mapped[c] = False
+            state.stale[c] = False
+
+    # ---- consistency faults -------------------------------------------------------
+
+    def consistency_fault(self, asid: int, vpage: int,
+                          access: AccessKind) -> None:
+        """Resolve a fault caused by the consistency protection: run the
+        algorithm for the attempted access and re-derive protections."""
+        pte = self.page_table(asid).lookup(vpage)
+        if pte is None:
+            raise KernelError("consistency fault without a translation")
+        state = self.state_of(pte.ppage)
+        self.sync_modified(state)
+        if access is AccessKind.WRITE:
+            op = MemoryOp.CPU_WRITE
+            reason = Reason.ALIAS_WRITE
+            self._note_icache_write(state)
+            if self.policy.eager_break_aliases:
+                self._eager_break(state, asid, vpage, access)
+        else:
+            op = MemoryOp.CPU_READ
+            reason = Reason.ALIAS_READ
+            if self.policy.eager_break_aliases:
+                self._eager_break(state, asid, vpage, access)
+        self.engine(state, op, vpage, reason=reason)
+        self._post_engine(state)
+        state.last_vpage = vpage
+
+    # ---- page preparation (Section 4.1's two optimizations) -------------------------
+
+    def _prep_cache_page(self, ppage: int, ultimate_vpage: int | None) -> int:
+        """Cache page used to prepare a page.  With aligned preparation the
+        kernel prepares through a window aligned with the ultimate mapping;
+        otherwise through the kernel's equivalent mapping of the frame
+        (whose cache page is arbitrary with respect to the eventual user
+        address).  On a physically indexed cache every window lands on the
+        frame's own cache page — alignment is automatic."""
+        if self.machine.dcache.geo.physically_indexed:
+            return ppage % self.ncp
+        if self.policy.aligned_prepare and ultimate_vpage is not None:
+            return self.cache_page_of(ultimate_vpage)
+        return ppage % self.ncp
+
+    def zero_fill_page(self, ppage: int,
+                       ultimate_vpage: int | None = None) -> None:
+        """Prepare a frame by zero-filling it through the data cache."""
+        values = np.zeros(self.machine.memory.words_per_page, dtype=np.uint64)
+        self._prepare(ppage, values, ultimate_vpage)
+        self.machine.counters.pages_zero_filled += 1
+
+    def copy_page(self, src_ppage: int, dst_ppage: int,
+                  ultimate_vpage: int | None = None) -> None:
+        """Prepare a frame by copying another frame into it via the cache."""
+        values = self.read_frame(src_ppage)
+        self._prepare(dst_ppage, values, ultimate_vpage)
+        self.machine.counters.pages_copied += 1
+
+    def read_frame(self, src_ppage: int) -> np.ndarray:
+        """Read a frame's current contents through the data cache, honouring
+        consistency (the CPU-read rules of the model)."""
+        src_state = self.state_of(src_ppage)
+        self.sync_modified(src_state)
+        if src_state.cache_dirty and self.policy.aligned_prepare:
+            # Read through the cache page where the data is already dirty:
+            # aligned, so no flush is needed.
+            src_cp = src_state.find_mapped_cache_page()
+        else:
+            src_cp = src_ppage % self.ncp
+        self.engine(src_state, MemoryOp.CPU_READ, src_cp,
+                    reason=Reason.ALIAS_READ)
+        self._post_engine(src_state)
+        values = self.machine.dcache.read_page(
+            src_cp * self.page_size, self._pa_base(src_ppage))
+        if self.machine.oracle is not None:
+            self.machine.oracle.check_page_read(self._pa_base(src_ppage),
+                                                values)
+        return values
+
+    def _prepare(self, ppage: int, values: np.ndarray,
+                 ultimate_vpage: int | None) -> None:
+        state = self.state_of(ppage)
+        self.sync_modified(state)
+        self._note_icache_write(state)
+        if state.uncached and not state.mappings:
+            state.uncached = False   # recycled frame starts a cached life
+        prep_cp = self._prep_cache_page(ppage, ultimate_vpage)
+        # The frame is completely overwritten, so stale data in the target
+        # cache page need not be purged first (will_overwrite, F); the
+        # frame's old dirty data is dead, so it can be purged rather than
+        # flushed (need_data=False, E).  Both gated by the policy.
+        self.engine(state, MemoryOp.CPU_WRITE, prep_cp,
+                    will_overwrite=self.policy.opt_will_overwrite,
+                    need_data=not self.policy.opt_need_data,
+                    reason=Reason.NEW_MAPPING)
+        self.machine.dcache.write_page(prep_cp * self.page_size,
+                                       self._pa_base(ppage), values)
+        if self.machine.oracle is not None:
+            self.machine.oracle.note_page_write(self._pa_base(ppage), values)
+        self._post_engine(state)
+        state.last_vpage = prep_cp
+
+    # ---- DMA preparation (Section 2.4) -----------------------------------------------
+
+    def prepare_dma_read(self, ppage: int) -> None:
+        """Before a device reads this frame: flush any dirty cache data so
+        the device sees the most recent values."""
+        state = self.state_of(ppage)
+        self.sync_modified(state)
+        if state.uncached:
+            return  # uncached stores reach memory directly; nothing to flush
+        self.engine(state, MemoryOp.DMA_READ, reason=Reason.DMA_READ)
+        self._post_engine(state)
+
+    def prepare_dma_write(self, ppage: int) -> None:
+        """Before a device writes this frame: purge dirty cache data (it
+        would otherwise be written back over the device's data) and mark
+        every cached copy stale (it would otherwise shadow the new data)."""
+        state = self.state_of(ppage)
+        self.sync_modified(state)
+        if state.uncached:
+            return  # no cached copies exist to shadow or overwrite the data
+        self.engine(state, MemoryOp.DMA_WRITE, need_data=False,
+                    reason=Reason.DMA_WRITE)
+        self._post_engine(state)
+        # Instruction-cache copies are invalidated eagerly: the icache has
+        # no protection machinery of its own.
+        pa = self._pa_base(ppage)
+        for ic in state.imapped.indices():
+            self.machine.icache.purge_page_frame(ic, pa, Reason.DMA_WRITE)
+        for ic in state.istale.indices():
+            self.machine.icache.purge_page_frame(ic, pa, Reason.DMA_WRITE)
+        state.imapped.clear_all()
+        state.istale.clear_all()
+
+    # ---- text installation (the dual-cache alias, Section 5.1) ------------------------
+
+    def install_text_page(self, asid: int, vpage: int, ppage: int) -> None:
+        """Map a freshly prepared frame as program text.
+
+        The preparing copy wrote the frame through the *data* cache, so the
+        page "must be flushed from the data cache before it can be used"
+        by instruction fetches; "the destination virtual page, unless empty
+        in the instruction cache, must also be purged".
+        """
+        state = self.state_of(ppage)
+        self.sync_modified(state)
+        if state.cache_dirty:
+            w = state.find_mapped_cache_page()
+            if self.policy.lazy_unmap:
+                reason = Reason.D_TO_I_COPY
+                self.machine.counters.d_to_i_copies += 1
+            else:
+                # The old system unmaps (and therefore flushes) the dirty
+                # page before mapping it into the faulting address space,
+                # so the flush is attributed to the unmap (Section 5.1).
+                reason = Reason.UNMAP_EAGER
+            self._flush_cache_page(w, ppage, reason)
+            state.cache_dirty = False
+        state.add_mapping(asid, vpage)
+        self.page_table(asid).enter(vpage, ppage, Prot.READ_EXEC,
+                                    cache_prot=Prot.NONE)
+        self.engine(state, MemoryOp.CPU_READ, vpage,
+                    reason=Reason.NEW_MAPPING)
+        self._post_engine(state)
+        state.last_vpage = vpage
+        # Instruction-cache side.
+        ic = state.icache_page_of(vpage)
+        if state.istale[ic] or state.imapped[ic]:
+            self.machine.icache.purge_page_frame(ic, self._pa_base(ppage),
+                                                 Reason.D_TO_I_COPY)
+            state.istale[ic] = False
+        state.imapped[ic] = True
+        self.machine.tlb.invalidate(asid, vpage)
+
+    # ---- frame lifecycle ---------------------------------------------------------------
+
+    def frame_freed(self, ppage: int) -> int | None:
+        """Called when a frame returns to the free list; returns the color
+        (cache page of its last mapping) for the colored free list.
+
+        Any remaining mappings are an error; consistency state is kept so a
+        later reuse can be handled lazily.
+        """
+        state = self.page_states.get(ppage)
+        if state is None:
+            return None
+        if state.mappings:
+            raise KernelError(
+                f"frame {ppage} freed with {len(state.mappings)} mappings")
+        return state.last_cache_page

@@ -1,0 +1,10 @@
+"""Protection values — re-exported from :mod:`repro.prot`.
+
+The definitions live at the package top level so the hardware layer
+(:mod:`repro.hw`) and the model layer (:mod:`repro.core`) can use them
+without importing the VM package (which imports them back).
+"""
+
+from repro.prot import AccessKind, Prot
+
+__all__ = ["AccessKind", "Prot"]

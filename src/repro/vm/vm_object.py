@@ -1,0 +1,92 @@
+"""Memory objects: the containers virtual memory is mapped from.
+
+This is a deliberately simplified form of Mach's memory-object model
+(Section 2.1): an object owns a set of resident physical pages indexed by
+object page offset, and is backed either by zero-fill or by a file.
+Sharing is expressed by mapping the same object page into several address
+spaces; copy-on-write is expressed at the mapping layer
+(:mod:`repro.vm.address_space`) by marking a mapping ``cow`` and giving
+the faulting task a private copy on first write.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from repro.errors import KernelError
+
+_ids = itertools.count(1)
+
+
+class Backing(enum.Enum):
+    """What produces an object page's initial contents."""
+
+    ZERO_FILL = "zero-fill"
+    FILE = "file"
+
+
+class VMObject:
+    """A container of physical pages mapped into address spaces."""
+
+    def __init__(self, size_pages: int, backing: Backing = Backing.ZERO_FILL,
+                 file_id: int | None = None, file_offset: int = 0):
+        if size_pages <= 0:
+            raise KernelError("VM object must contain at least one page")
+        if backing is Backing.FILE and file_id is None:
+            raise KernelError("file-backed object needs a file id")
+        self.object_id = next(_ids)
+        self.size_pages = size_pages
+        self.backing = backing
+        self.file_id = file_id
+        self.file_offset = file_offset
+        self.ref_count = 0
+        self._resident: dict[int, int] = {}  # object page -> ppage
+        # Under the global-address-space model every mapping of the object
+        # uses the same virtual address; the first mapping fixes it.
+        self.global_base_vpage: int | None = None
+        # Pages evicted to the swap area: object page -> swap slot.
+        self.swap_slots: dict[int, int] = {}
+
+    def _check(self, obj_page: int) -> None:
+        if not 0 <= obj_page < self.size_pages:
+            raise KernelError(
+                f"object {self.object_id}: page {obj_page} out of range "
+                f"[0, {self.size_pages})")
+
+    def resident_page(self, obj_page: int) -> int | None:
+        """The physical frame holding this object page, if resident."""
+        self._check(obj_page)
+        return self._resident.get(obj_page)
+
+    def establish(self, obj_page: int, ppage: int) -> None:
+        self._check(obj_page)
+        if obj_page in self._resident:
+            raise KernelError(
+                f"object {self.object_id}: page {obj_page} already resident")
+        self._resident[obj_page] = ppage
+
+    def evict(self, obj_page: int) -> int:
+        self._check(obj_page)
+        try:
+            return self._resident.pop(obj_page)
+        except KeyError:
+            raise KernelError(
+                f"object {self.object_id}: page {obj_page} not resident"
+            ) from None
+
+    def resident_pages(self) -> dict[int, int]:
+        return dict(self._resident)
+
+    def reference(self) -> None:
+        self.ref_count += 1
+
+    def dereference(self) -> int:
+        """Drop a reference; returns the remaining count."""
+        if self.ref_count <= 0:
+            raise KernelError(f"object {self.object_id}: refcount underflow")
+        self.ref_count -= 1
+        return self.ref_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"VMObject(id={self.object_id}, size={self.size_pages}, "
+                f"backing={self.backing.value}, resident={len(self._resident)})")

@@ -1,0 +1,15 @@
+"""Benchmark workloads: the paper's three programs, the Section 2.5
+alignment microbenchmark, and a randomized alias/DMA stressor."""
+
+from repro.workloads.afs_bench import AfsBench
+from repro.workloads.base import PaperNumbers, Workload
+from repro.workloads.kernel_build import KernelBuild
+from repro.workloads.latex_bench import LatexBench
+from repro.workloads.microbench import AliasLoopResult, run_alias_write_loop
+from repro.workloads.random_ops import AliasStressor, StressStats
+
+__all__ = [
+    "Workload", "PaperNumbers", "AfsBench", "LatexBench", "KernelBuild",
+    "AliasStressor", "StressStats", "AliasLoopResult",
+    "run_alias_write_loop",
+]

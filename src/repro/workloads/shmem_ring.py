@@ -1,0 +1,148 @@
+"""A shared-memory ring buffer between two processes.
+
+Section 2.2 observes that applications rarely need shared memory at
+*specific* addresses — "the name of a piece of virtual memory is much
+less important than other attributes" — so the VM system is free to pick
+aligning addresses.  This workload makes that observation quantitative:
+a producer and a consumer exchange records through a shared ring (data
+pages plus a control page holding head/tail indices), with the mapping
+addresses either chosen by the VM to align or deliberately conflicting.
+
+The unaligned ring turns every index update and every record into
+consistency-fault ping-pong; the aligned ring runs at cache speed.  This
+is the application-level face of the Section 2.5 microbenchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import UserProcess
+from repro.prot import Prot
+from repro.vm.vm_object import Backing, VMObject
+
+HEAD_WORD = 0     # next slot the producer will fill (control page)
+TAIL_WORD = 1     # next slot the consumer will take
+WORDS_PER_RECORD = 8
+
+
+@dataclass(frozen=True)
+class RingResult:
+    """Measurements from one producer/consumer run."""
+
+    aligned: bool
+    records: int
+    cycles: int
+    consistency_faults: int
+    page_flushes: int
+    checksum: int
+
+    @property
+    def cycles_per_record(self) -> float:
+        return self.cycles / self.records if self.records else 0.0
+
+
+class SharedRing:
+    """The ring: one control page plus ``data_pages`` record pages,
+    mapped into both tasks."""
+
+    def __init__(self, kernel: Kernel, producer: UserProcess,
+                 consumer: UserProcess, data_pages: int = 2,
+                 aligned: bool = True):
+        self.kernel = kernel
+        self.producer = producer
+        self.consumer = consumer
+        self.data_pages = data_pages
+        self.slots_per_page = (kernel.machine.memory.words_per_page
+                               // WORDS_PER_RECORD)
+        self.capacity = data_pages * self.slots_per_page
+        ncp = kernel.machine.dcache.geo.num_cache_pages
+
+        self.ring_object = VMObject(1 + data_pages, Backing.ZERO_FILL)
+        self.prod_base = producer.task.map_shared(self.ring_object,
+                                                  Prot.READ_WRITE)
+        if aligned:
+            color = producer.task.space.cache_page_of(self.prod_base)
+        else:
+            color = (producer.task.space.cache_page_of(self.prod_base)
+                     + 1) % ncp
+        self.cons_base = consumer.task.map_shared(self.ring_object,
+                                                  Prot.READ_WRITE,
+                                                  color=color)
+
+    # ---- slot addressing -----------------------------------------------------------
+
+    def _slot(self, base: int, index: int) -> tuple[int, int]:
+        slot = index % self.capacity
+        page = 1 + slot // self.slots_per_page
+        word = (slot % self.slots_per_page) * WORDS_PER_RECORD
+        return base + page, word
+
+    # ---- the two sides --------------------------------------------------------------
+
+    def produce(self, value: int) -> None:
+        task = self.producer.task
+        head = task.read(self.prod_base, HEAD_WORD)
+        page, word = self._slot(self.prod_base, head)
+        task.write(page, word, value)
+        task.write(page, word + 1, value ^ 0xFFFF)   # a little payload
+        task.write(self.prod_base, HEAD_WORD, head + 1)
+
+    def consume(self) -> int | None:
+        task = self.consumer.task
+        tail = task.read(self.cons_base, TAIL_WORD)
+        head = task.read(self.cons_base, HEAD_WORD)
+        if tail == head:
+            return None   # empty
+        page, word = self._slot(self.cons_base, tail)
+        value = task.read(page, word)
+        check = task.read(page, word + 1)
+        assert check == value ^ 0xFFFF, "payload corrupted"
+        task.write(self.cons_base, TAIL_WORD, tail + 1)
+        return value
+
+
+def run_ring(kernel: Kernel, records: int = 200, data_pages: int = 2,
+             aligned: bool = True, batch: int = 4) -> RingResult:
+    """Drive ``records`` records through a ring; returns the measurements.
+
+    The producer fills a small batch, then the consumer drains it —
+    the alternation pattern that makes unaligned sharing expensive.
+    """
+    from repro.hw.stats import FaultKind
+
+    producer = UserProcess(kernel, "ring-producer")
+    consumer = UserProcess(kernel, "ring-consumer")
+    ring = SharedRing(kernel, producer, consumer, data_pages, aligned)
+
+    counters = kernel.machine.counters
+    start_cycles = kernel.machine.clock.cycles
+    start_faults = counters.faults[FaultKind.CONSISTENCY]
+    start_flushes = counters.total_flushes()
+
+    produced = 0
+    checksum = 0
+    while produced < records:
+        burst = min(batch, records - produced,
+                    ring.capacity - 1)   # never overfill
+        for _ in range(burst):
+            ring.produce(produced)
+            produced += 1
+        for _ in range(burst):
+            value = ring.consume()
+            assert value is not None
+            checksum = (checksum + value) & 0xFFFFFFFF
+
+    result = RingResult(
+        aligned=aligned,
+        records=records,
+        cycles=kernel.machine.clock.cycles - start_cycles,
+        consistency_faults=(counters.faults[FaultKind.CONSISTENCY]
+                            - start_faults),
+        page_flushes=counters.total_flushes() - start_flushes,
+        checksum=checksum,
+    )
+    producer.exit()
+    consumer.exit()
+    return result

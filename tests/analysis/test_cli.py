@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("table1", "table2", "table4", "table5", "micro",
+                        "run", "all"):
+            args = parser.parse_args(
+                [command] + (["latex-paper"] if command == "run" else []))
+            assert args.command == command
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonesuch"])
+
+
+class TestCommands:
+    def test_table2_prints_the_transition_table(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU-read" in out and "-(flush)->" in out
+
+    def test_micro(self, capsys):
+        assert main(["micro", "--iterations", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+
+    def test_run_reports_counters(self, capsys):
+        assert main(["run", "latex-paper", "--policy", "A",
+                     "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "consistency faults" in out
+        assert "configuration A" in out
+
+    def test_run_accepts_table5_system_names(self, capsys):
+        assert main(["run", "latex-paper", "--policy", "Tut",
+                     "--scale", "0.25"]) == 0
+        assert "Tut" in capsys.readouterr().out
+
+    def test_table1_small_scale(self, capsys):
+        assert main(["table1", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "afs-bench" in out and "kernel-build" in out
+
+    def test_table4_single_workload(self, capsys):
+        assert main(["table4", "--scale", "0.25",
+                     "--workload", "latex-paper"]) == 0
+        out = capsys.readouterr().out
+        assert "latex-paper" in out
+        assert "overhead" in out
+
+    def test_table5(self, capsys):
+        assert main(["table5", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "CMU" in out and "Sun" in out
+
+    def test_table4_chart_flag(self, capsys):
+        assert main(["table4", "--scale", "0.25",
+                     "--workload", "latex-paper", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "(F = flushes, P = purges)" in out

@@ -1,0 +1,58 @@
+"""Tests for metric snapshotting and differencing."""
+
+from repro.analysis.metrics import OpCost, diff_metrics, snapshot_counters
+from repro.hw.params import CostModel
+from repro.hw.stats import Counters, FaultKind, Reason
+
+
+class TestOpCost:
+    def test_avg(self):
+        assert OpCost(4, 100).avg_cycles == 25.0
+
+    def test_avg_of_nothing_is_zero(self):
+        assert OpCost(0, 0).avg_cycles == 0.0
+
+
+class TestDiffing:
+    def test_diff_isolates_the_measured_window(self):
+        counters = Counters()
+        counters.record_flush("dcache", Reason.DMA_READ, 100)
+        before = snapshot_counters(counters)
+        counters.record_flush("dcache", Reason.DMA_READ, 60)
+        counters.record_purge("dcache", Reason.NEW_MAPPING, 30)
+        counters.record_fault(FaultKind.CONSISTENCY, 300)
+        after = snapshot_counters(counters)
+        metrics = diff_metrics("F", "test", before, after, cycles=1000,
+                               cost=CostModel())
+        assert metrics.dma_read_flushes == OpCost(1, 60)
+        assert metrics.new_mapping_purges == OpCost(1, 30)
+        assert metrics.consistency_faults.count == 1
+        assert metrics.mapping_faults.count == 0
+
+    def test_snapshot_is_immutable_copy(self):
+        counters = Counters()
+        snap = snapshot_counters(counters)
+        counters.record_fault(FaultKind.MAPPING, 10)
+        assert snap["faults"][FaultKind.MAPPING] == 0
+
+    def test_overhead_accounting(self):
+        counters = Counters()
+        before = snapshot_counters(counters)
+        counters.record_purge("dcache", Reason.NEW_MAPPING, 500)
+        counters.record_purge("dcache", Reason.DMA_WRITE, 100)
+        counters.record_fault(FaultKind.CONSISTENCY, 300)
+        counters.record_flush("dcache", Reason.DMA_READ, 200)
+        after = snapshot_counters(counters)
+        metrics = diff_metrics("F", "test", before, after, cycles=100_000,
+                               cost=CostModel())
+        # VI overhead: consistency faults + non-DMA purging = 300 + 500
+        assert metrics.consistency_overhead_cycles == 800
+        # Architecture-independent: DMA flush + DMA purge = 200 + 100
+        assert metrics.architecture_independent_cycles == 300
+        assert metrics.consistency_overhead_fraction == 0.008
+
+    def test_seconds_derived_from_cycles(self):
+        metrics = diff_metrics("F", "t", snapshot_counters(Counters()),
+                               snapshot_counters(Counters()),
+                               cycles=50_000_000, cost=CostModel())
+        assert metrics.seconds == 1.0

@@ -1,0 +1,77 @@
+"""Tests for the table renderers (format-level, on synthetic metrics)."""
+
+import pytest
+
+from repro.analysis.experiments import Table1Row
+from repro.analysis.metrics import OpCost, RunMetrics
+from repro.analysis.tables import (render_micro, render_overhead_summary,
+                                   render_table1, render_table4)
+from repro.workloads.microbench import AliasLoopResult
+
+
+def metrics(config="F", workload="afs-bench", seconds=1.0, cycles=50_000_000,
+            **overrides):
+    fields = dict(
+        config_name=config, workload_name=workload, cycles=cycles,
+        seconds=seconds,
+        mapping_faults=OpCost(10, 3000),
+        consistency_faults=OpCost(2, 600),
+        dcache_flushes=OpCost(5, 500), dcache_purges=OpCost(4, 400),
+        icache_flushes=OpCost(0, 0), icache_purges=OpCost(1, 128),
+        dma_read_flushes=OpCost(3, 300), d_to_i_flushes=OpCost(2, 200),
+        new_mapping_purges=OpCost(2, 200), dma_write_purges=OpCost(1, 100),
+        d_to_i_icache_purges=OpCost(1, 128),
+        dma_reads=3, dma_writes=2, d_to_i_copies=2, ipc_page_moves=7,
+        pages_zero_filled=4, pages_copied=3,
+    )
+    fields.update(overrides)
+    return RunMetrics(**fields)
+
+
+class TestTable1Renderer:
+    def test_gain_computation(self):
+        row = Table1Row("afs-bench", metrics(config="A", seconds=2.0),
+                        metrics(config="F", seconds=1.5))
+        assert row.gain_percent == pytest.approx(25.0)
+
+    def test_rendering_includes_paper_reference(self):
+        rows = [Table1Row("afs-bench", metrics(config="A", seconds=2.0),
+                          metrics(config="F", seconds=1.8))]
+        text = render_table1(rows)
+        assert "10.0%" in text          # the paper's gain for afs-bench
+        assert "afs-bench" in text
+
+
+class TestTable4Renderer:
+    def test_one_row_per_config(self):
+        ladder = [metrics(config=c) for c in "ABCDEF"]
+        text = render_table4({"afs-bench": ladder})
+        for name in "ABCDEF":
+            assert f"\n  {name}  " in text
+
+    def test_average_cycles_shown(self):
+        text = render_table4({"w": [metrics()]})
+        assert "100" in text            # 500 cycles / 5 flushes
+
+
+class TestOverheadSummary:
+    def test_accounting_identity(self):
+        m = metrics()
+        text = render_overhead_summary([m])
+        # VI overhead: cons fault cycles (600) + non-DMA purges (400-100)
+        assert f"{600 + 300:>10}" in text or "900" in text
+        assert "virtually-indexed-cache overhead" in text
+
+    def test_fraction_of_total(self):
+        m = metrics(cycles=100_000)
+        text = render_overhead_summary([m])
+        assert "0.900%" in text
+
+
+class TestMicroRenderer:
+    def test_slowdown_factor(self):
+        aligned = AliasLoopResult(True, 100, 1_000, 2e-5, 0, 0, 0)
+        unaligned = AliasLoopResult(False, 100, 100_000, 2e-3, 98, 99, 98)
+        text = render_micro(aligned, unaligned)
+        assert "100x" in text
+        assert "fraction of a second" in text

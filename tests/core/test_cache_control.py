@@ -1,0 +1,231 @@
+"""Stanza-by-stanza tests of the Figure 1 CacheControl algorithm."""
+
+import pytest
+
+from repro.core.cache_control import CacheControl, PerformedOp
+from repro.core.page_state import PhysPageState
+from repro.core.states import Action, LineState, MemoryOp
+from repro.errors import ReproError
+from repro.hw.stats import Reason
+from repro.prot import Prot
+
+NCP = 8
+
+
+class Recorder:
+    """Callback recorder standing in for the hardware and page tables."""
+
+    def __init__(self):
+        self.flushes: list[int] = []
+        self.purges: list[int] = []
+        self.protections: dict[tuple[int, int], Prot] = {}
+
+    def flush(self, cache_page, ppage, reason):
+        self.flushes.append(cache_page)
+
+    def purge(self, cache_page, ppage, reason):
+        self.purges.append(cache_page)
+
+    def protect(self, mapping, prot):
+        if prot is not None:
+            self.protections[mapping.key] = prot
+
+
+@pytest.fixture
+def rig():
+    recorder = Recorder()
+    engine = CacheControl(recorder.flush, recorder.purge, recorder.protect)
+    state = PhysPageState(ppage=7, num_cache_pages=NCP)
+    return engine, state, recorder
+
+
+class TestStanza2CleanDirtyPage:
+    def test_unaligned_read_flushes_the_dirty_page(self, rig):
+        engine, state, rec = rig
+        engine(state, MemoryOp.CPU_WRITE, 0)
+        engine(state, MemoryOp.CPU_READ, 1)
+        assert rec.flushes == [0]
+        assert not state.cache_dirty
+
+    def test_aligned_read_skips_the_flush(self, rig):
+        engine, state, rec = rig
+        engine(state, MemoryOp.CPU_WRITE, 0)
+        engine(state, MemoryOp.CPU_READ, 0)
+        assert rec.flushes == []
+        # an aligned read of a dirty page leaves it dirty
+        assert state.cache_dirty
+
+    def test_aligned_read_through_different_but_aligned_vpage(self, rig):
+        engine, state, rec = rig
+        engine(state, MemoryOp.CPU_WRITE, 2)
+        engine(state, MemoryOp.CPU_READ, 2 + NCP)   # aligns with vpage 2
+        assert rec.flushes == []
+        assert state.cache_dirty
+
+    def test_dma_read_always_cleans_dirty_data(self, rig):
+        engine, state, rec = rig
+        engine(state, MemoryOp.CPU_WRITE, 3)
+        engine(state, MemoryOp.DMA_READ)
+        assert rec.flushes == [3]
+        assert not state.cache_dirty
+
+    def test_need_data_false_purges_instead_of_flushing(self, rig):
+        engine, state, rec = rig
+        engine(state, MemoryOp.CPU_WRITE, 0)
+        engine(state, MemoryOp.CPU_WRITE, 1, need_data=False)
+        assert rec.flushes == []
+        assert 0 in rec.purges
+
+    def test_dirty_page_stays_mapped_after_flush(self, rig):
+        # Figure 1 does not clear mapped[w]; the post-flush Present state
+        # is sound pessimism (memory now matches).
+        engine, state, rec = rig
+        engine(state, MemoryOp.CPU_WRITE, 0)
+        engine(state, MemoryOp.DMA_READ)
+        assert state.decode(0) is LineState.PRESENT
+
+
+class TestStanza3StaleTarget:
+    def _make_stale(self, engine, state):
+        engine(state, MemoryOp.CPU_READ, 1)      # present at 1
+        engine(state, MemoryOp.CPU_WRITE, 0)     # 1 becomes stale
+
+    def test_read_of_stale_target_purges_it(self, rig):
+        engine, state, rec = rig
+        self._make_stale(engine, state)
+        assert state.decode(1) is LineState.STALE
+        engine(state, MemoryOp.CPU_READ, 1)
+        assert 1 in rec.purges
+        assert state.decode(1) is LineState.PRESENT
+
+    def test_will_overwrite_skips_the_purge(self, rig):
+        engine, state, rec = rig
+        self._make_stale(engine, state)
+        rec.purges.clear()
+        engine(state, MemoryOp.CPU_WRITE, 1, will_overwrite=True)
+        assert rec.purges == []
+        assert not state.stale[1]
+
+    def test_stale_bit_cleared_even_when_purge_skipped(self, rig):
+        engine, state, rec = rig
+        self._make_stale(engine, state)
+        engine(state, MemoryOp.CPU_READ, 1, will_overwrite=True)
+        assert not state.stale[1]
+
+
+class TestStanza4Writes:
+    def test_cpu_write_stales_all_other_mapped_pages(self, rig):
+        engine, state, rec = rig
+        engine(state, MemoryOp.CPU_READ, 1)
+        engine(state, MemoryOp.CPU_READ, 2)
+        engine(state, MemoryOp.CPU_WRITE, 3)
+        assert state.decode(1) is LineState.STALE
+        assert state.decode(2) is LineState.STALE
+        assert state.decode(3) is LineState.DIRTY
+
+    def test_cpu_write_target_not_stale_and_dirty(self, rig):
+        engine, state, rec = rig
+        engine(state, MemoryOp.CPU_READ, 3)
+        engine(state, MemoryOp.CPU_WRITE, 3)
+        assert state.decode(3) is LineState.DIRTY
+        assert state.cache_dirty
+
+    def test_dma_write_unmaps_everything(self, rig):
+        engine, state, rec = rig
+        engine(state, MemoryOp.CPU_READ, 1)
+        engine(state, MemoryOp.CPU_READ, 2)
+        engine(state, MemoryOp.DMA_WRITE, need_data=False)
+        assert not state.mapped.any()
+        assert state.decode(1) is LineState.STALE
+        assert state.decode(2) is LineState.STALE
+
+    def test_dma_write_purges_dirty_page(self, rig):
+        engine, state, rec = rig
+        engine(state, MemoryOp.CPU_WRITE, 4)
+        engine(state, MemoryOp.DMA_WRITE, need_data=False)
+        assert 4 in rec.purges
+        assert rec.flushes == []
+        assert not state.cache_dirty
+
+    def test_invariant_one_dirty_mapped_page(self, rig):
+        engine, state, rec = rig
+        for vpage in (0, 1, 2, 1, 0):
+            engine(state, MemoryOp.CPU_WRITE, vpage)
+            state.validate()
+
+
+class TestStanza6Protections:
+    def test_stale_mappings_lose_access(self, rig):
+        engine, state, rec = rig
+        state.add_mapping(1, 1)
+        state.add_mapping(2, 2)
+        engine(state, MemoryOp.CPU_READ, 1)
+        engine(state, MemoryOp.CPU_WRITE, 2)
+        assert rec.protections[(1, 1)] is Prot.NONE      # stale now
+        assert rec.protections[(2, 2)] is Prot.READ_WRITE
+
+    def test_read_leaves_all_mapped_pages_read_only(self, rig):
+        engine, state, rec = rig
+        state.add_mapping(1, 3)
+        state.add_mapping(2, 3 + NCP)   # aligned alias in another space
+        engine(state, MemoryOp.CPU_READ, 3)
+        assert rec.protections[(1, 3)] is Prot.READ
+        assert rec.protections[(2, 3 + NCP)] is Prot.READ
+
+    def test_aligned_alias_of_writer_gets_write_access(self, rig):
+        engine, state, rec = rig
+        state.add_mapping(1, 2)
+        state.add_mapping(2, 2 + NCP)
+        engine(state, MemoryOp.CPU_WRITE, 2)
+        # Aligned aliases share the cache line: no consistency hazard.
+        assert rec.protections[(2, 2 + NCP)] is Prot.READ_WRITE
+
+    def test_unmapped_cache_pages_get_no_access(self, rig):
+        engine, state, rec = rig
+        state.add_mapping(1, 5)
+        engine(state, MemoryOp.CPU_READ, 0)   # 5 is not mapped
+        assert rec.protections[(1, 5)] is Prot.NONE
+
+    def test_dma_leaves_mapped_nonstale_protection_alone(self, rig):
+        engine, state, rec = rig
+        state.add_mapping(1, 1)
+        engine(state, MemoryOp.CPU_READ, 1)
+        rec.protections.clear()
+        engine(state, MemoryOp.DMA_READ)
+        assert (1, 1) not in rec.protections  # left in place
+
+    def test_update_protections_can_be_suppressed(self, rig):
+        engine, state, rec = rig
+        state.add_mapping(1, 1)
+        engine(state, MemoryOp.CPU_READ, 1, update_protections=False)
+        assert rec.protections == {}
+
+
+class TestEagerVariant:
+    def test_eager_purges_instead_of_marking_stale(self):
+        rec = Recorder()
+        engine = CacheControl(rec.flush, rec.purge, rec.protect,
+                              eager_purge_stale=True)
+        state = PhysPageState(0, NCP)
+        engine(state, MemoryOp.CPU_READ, 1)
+        engine(state, MemoryOp.CPU_WRITE, 2)
+        assert 1 in rec.purges
+        assert not state.stale.any()
+
+
+class TestArgumentValidation:
+    def test_rejects_cache_ops(self, rig):
+        engine, state, rec = rig
+        with pytest.raises(ReproError):
+            engine(state, MemoryOp.PURGE, 0)
+
+    def test_cpu_op_requires_target(self, rig):
+        engine, state, rec = rig
+        with pytest.raises(ReproError):
+            engine(state, MemoryOp.CPU_READ)
+
+    def test_returns_performed_operations(self, rig):
+        engine, state, rec = rig
+        engine(state, MemoryOp.CPU_WRITE, 0)
+        performed = engine(state, MemoryOp.CPU_READ, 1)
+        assert PerformedOp(Action.FLUSH, 0) in performed

@@ -1,0 +1,58 @@
+"""Tests for the bounded exhaustive checker — and the exhaustive result
+itself, which is part of the correctness story."""
+
+import pytest
+
+from repro.core.cache_control import CacheControl
+from repro.core.exhaustive import (CheckReport, check_all_sequences,
+                                   event_alphabet)
+from repro.core.states import MemoryOp
+
+
+class TestAlphabet:
+    def test_size(self):
+        # 2 CPU ops x n targets + 2 DMA ops
+        assert len(event_alphabet(2)) == 6
+        assert len(event_alphabet(4)) == 10
+
+    def test_dma_events_have_no_target(self):
+        assert (MemoryOp.DMA_READ, None) in event_alphabet(2)
+        assert (MemoryOp.DMA_WRITE, None) in event_alphabet(2)
+
+
+class TestExhaustiveResult:
+    def test_depth_four_two_pages_is_clean(self):
+        report = check_all_sequences(num_cache_pages=2, depth=4)
+        assert report.ok, report.violations[:3]
+        assert report.sequences == 6 ** 4
+        assert report.steps == 6 ** 4 * 4
+
+    def test_depth_three_three_pages_is_clean(self):
+        report = check_all_sequences(num_cache_pages=3, depth=3)
+        assert report.ok
+        assert report.sequences == 8 ** 3
+
+    def test_report_counts(self):
+        report = check_all_sequences(num_cache_pages=2, depth=2)
+        assert isinstance(report, CheckReport)
+        assert report.num_cache_pages == 2
+        assert report.depth == 2
+
+
+class TestCheckerDetectsBugs:
+    def test_a_broken_engine_is_caught(self, monkeypatch):
+        # Sabotage the engine so it never flushes: the checker must find a
+        # sequence where the model's required flush was skipped.
+        original_call = CacheControl.__call__
+
+        # The checker watches the decision (the callbacks), so the
+        # sabotage attacks the decision: forget dirtiness before acting,
+        # and stanza 2's flush never fires.
+        def no_dirty(self, state, op, target_vpage=None, **kwargs):
+            state.cache_dirty = False       # forget dirtiness before acting
+            return original_call(self, state, op, target_vpage, **kwargs)
+
+        monkeypatch.setattr(CacheControl, "__call__", no_dirty)
+        report = check_all_sequences(num_cache_pages=2, depth=3)
+        assert not report.ok
+        assert "skipped" in report.violations[0]

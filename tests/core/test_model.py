@@ -1,0 +1,152 @@
+"""Tests for the formal line-level consistency model (Section 3)."""
+
+import pytest
+
+from repro.core.model import ConsistencyModel, RequiredAction
+from repro.core.states import Action, LineState, MemoryOp
+from repro.errors import ReproError
+
+E, P, D, S = (LineState.EMPTY, LineState.PRESENT, LineState.DIRTY,
+              LineState.STALE)
+
+
+class TestInitialState:
+    def test_all_empty_at_power_up(self):
+        model = ConsistencyModel(4)
+        assert all(s is E for s in model.states)
+
+    def test_rejects_empty_cache(self):
+        with pytest.raises(ReproError):
+            ConsistencyModel(0)
+
+
+class TestSingleAddressLifecycle:
+    def test_read_then_write_then_flush(self):
+        model = ConsistencyModel(4)
+        assert model.apply(MemoryOp.CPU_READ, 0) == []
+        assert model.state(0) is P
+        assert model.apply(MemoryOp.CPU_WRITE, 0) == []
+        assert model.state(0) is D
+        model.apply(MemoryOp.FLUSH, 0)
+        assert model.state(0) is E
+
+    def test_aligned_aliases_share_state_and_need_no_actions(self):
+        # Two virtual addresses that align select the same cache page; the
+        # model sees a single line, so alternating writes cost nothing.
+        model = ConsistencyModel(4)
+        for _ in range(10):
+            assert model.apply(MemoryOp.CPU_WRITE, 2) == []
+        assert model.state(2) is D
+
+
+class TestUnalignedAliases:
+    def test_write_then_read_through_other_alias_flushes(self):
+        model = ConsistencyModel(4)
+        model.apply(MemoryOp.CPU_WRITE, 0)
+        actions = model.apply(MemoryOp.CPU_READ, 1)
+        assert RequiredAction(Action.FLUSH, 0) in actions
+        assert model.state(0) is E
+        assert model.state(1) is P
+
+    def test_write_then_write_through_other_alias(self):
+        model = ConsistencyModel(4)
+        model.apply(MemoryOp.CPU_WRITE, 0)
+        actions = model.apply(MemoryOp.CPU_WRITE, 1)
+        assert RequiredAction(Action.FLUSH, 0) in actions
+        assert model.state(0) is E
+        assert model.state(1) is D
+
+    def test_write_makes_present_aliases_stale(self):
+        model = ConsistencyModel(4)
+        model.apply(MemoryOp.CPU_READ, 0)
+        model.apply(MemoryOp.CPU_READ, 1)
+        model.apply(MemoryOp.CPU_WRITE, 2)
+        assert model.state(0) is S
+        assert model.state(1) is S
+        assert model.state(2) is D
+
+    def test_reading_a_stale_alias_purges_it(self):
+        model = ConsistencyModel(4)
+        model.apply(MemoryOp.CPU_READ, 0)
+        model.apply(MemoryOp.CPU_WRITE, 1)   # stales 0
+        actions = model.apply(MemoryOp.CPU_READ, 0)
+        assert RequiredAction(Action.PURGE, 0) in actions
+        # ... after first flushing the dirty alias at 1:
+        assert RequiredAction(Action.FLUSH, 1) in actions
+        assert model.state(0) is P
+
+    def test_flush_of_dirty_other_precedes_target_purge(self):
+        # Section 3.2: an empty/stale line must not be (re)filled before
+        # dirty data in a similarly mapped line reaches memory.
+        model = ConsistencyModel(4)
+        model.apply(MemoryOp.CPU_READ, 0)
+        model.apply(MemoryOp.CPU_WRITE, 1)
+        actions = model.apply(MemoryOp.CPU_READ, 0)
+        kinds = [a.action for a in actions]
+        assert kinds.index(Action.FLUSH) < kinds.index(Action.PURGE)
+
+
+class TestDma:
+    def test_dma_read_flushes_the_dirty_line(self):
+        model = ConsistencyModel(4)
+        model.apply(MemoryOp.CPU_WRITE, 1)
+        actions = model.apply(MemoryOp.DMA_READ)
+        assert actions == [RequiredAction(Action.FLUSH, 1)]
+        assert model.state(1) is E
+
+    def test_dma_read_of_clean_state_needs_nothing(self):
+        model = ConsistencyModel(4)
+        model.apply(MemoryOp.CPU_READ, 1)
+        assert model.apply(MemoryOp.DMA_READ) == []
+        assert model.state(1) is P
+
+    def test_dma_write_purges_dirty_and_stales_present(self):
+        model = ConsistencyModel(4)
+        model.apply(MemoryOp.CPU_READ, 0)
+        model.apply(MemoryOp.CPU_READ, 2)
+        model.apply(MemoryOp.CPU_WRITE, 1)   # 0, 2 stale; 1 dirty
+        model.apply(MemoryOp.CPU_READ, 0)    # flush 1, purge 0 -> 0 P, 1 E
+        actions = model.apply(MemoryOp.DMA_WRITE)
+        assert model.state(0) is S
+        assert model.state(2) is S
+        assert not model.dirty_cache_pages()
+
+    def test_dma_ops_require_no_target(self):
+        model = ConsistencyModel(4)
+        model.apply(MemoryOp.DMA_WRITE)  # must not raise
+
+    def test_cpu_ops_require_a_target(self):
+        with pytest.raises(ReproError):
+            ConsistencyModel(4).apply(MemoryOp.CPU_READ)
+
+
+class TestInvariant:
+    def test_at_most_one_dirty_line_ever(self):
+        # Exhaustive short-sequence check: every sequence of 4 operations
+        # over 2 cache pages maintains the single-dirty invariant.
+        import itertools
+        ops = [(MemoryOp.CPU_READ, 0), (MemoryOp.CPU_READ, 1),
+               (MemoryOp.CPU_WRITE, 0), (MemoryOp.CPU_WRITE, 1),
+               (MemoryOp.DMA_READ, None), (MemoryOp.DMA_WRITE, None)]
+        for sequence in itertools.product(ops, repeat=4):
+            model = ConsistencyModel(2)
+            for op, target in sequence:
+                model.apply(op, target)
+                model.validate()
+
+    def test_validate_raises_on_forged_double_dirty(self):
+        model = ConsistencyModel(4)
+        model.states[0] = D
+        model.states[1] = D
+        with pytest.raises(ReproError):
+            model.validate()
+
+
+class TestBounds:
+    def test_out_of_range_target(self):
+        with pytest.raises(ReproError):
+            ConsistencyModel(4).apply(MemoryOp.CPU_READ, 4)
+
+    def test_state_query_bounds(self):
+        with pytest.raises(ReproError):
+            ConsistencyModel(4).state(-1)

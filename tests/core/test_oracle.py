@@ -1,0 +1,110 @@
+"""Tests for the staleness oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import ShadowMemory, Violation
+from repro.errors import StaleDataError
+
+PAGE = 4096
+WPP = PAGE // 4
+
+
+def make_oracle(record_only=False):
+    return ShadowMemory(num_pages=4, page_size=PAGE, record_only=record_only)
+
+
+class TestWordTracking:
+    def test_fresh_read_of_zeroed_memory(self):
+        oracle = make_oracle()
+        oracle.check_cpu_read(0, 0)   # everything starts zero
+
+    def test_write_then_correct_read(self):
+        oracle = make_oracle()
+        oracle.note_cpu_write(64, 42)
+        oracle.check_cpu_read(64, 42)
+
+    def test_stale_read_raises(self):
+        oracle = make_oracle()
+        oracle.note_cpu_write(64, 42)
+        with pytest.raises(StaleDataError) as excinfo:
+            oracle.check_cpu_read(64, 41)
+        assert excinfo.value.paddr == 64
+        assert excinfo.value.expected == 42
+        assert excinfo.value.actual == 41
+
+    def test_latest_write_wins(self):
+        oracle = make_oracle()
+        oracle.note_cpu_write(8, 1)
+        oracle.note_cpu_write(8, 2)
+        oracle.check_cpu_read(8, 2)
+        with pytest.raises(StaleDataError):
+            oracle.check_cpu_read(8, 1)
+
+
+class TestPageTracking:
+    def test_page_write_then_page_read(self):
+        oracle = make_oracle()
+        values = np.arange(WPP, dtype=np.uint64)
+        oracle.note_page_write(PAGE, values)
+        oracle.check_page_read(PAGE, values)
+
+    def test_page_read_detects_single_stale_word(self):
+        oracle = make_oracle()
+        values = np.arange(WPP, dtype=np.uint64)
+        oracle.note_page_write(PAGE, values)
+        bad = values.copy()
+        bad[17] = 9999
+        with pytest.raises(StaleDataError) as excinfo:
+            oracle.check_page_read(PAGE, bad)
+        assert excinfo.value.paddr == PAGE + 17 * 4
+
+    def test_page_write_updates_word_view(self):
+        oracle = make_oracle()
+        values = np.full(WPP, 7, dtype=np.uint64)
+        oracle.note_page_write(0, values)
+        oracle.check_cpu_read(12, 7)
+        assert oracle.expected_word(12) == 7
+
+
+class TestDmaTracking:
+    def test_dma_write_then_dma_read(self):
+        oracle = make_oracle()
+        values = np.arange(WPP, dtype=np.uint64) + 5
+        oracle.note_dma_write(2, values)
+        oracle.check_dma_read(2, values)
+
+    def test_dma_read_of_stale_memory_raises(self):
+        # A CPU write that never reached memory: the device must not see
+        # the old value (Section 2.4).
+        oracle = make_oracle()
+        oracle.note_cpu_write(2 * PAGE, 123)
+        stale_page = np.zeros(WPP, dtype=np.uint64)
+        with pytest.raises(StaleDataError):
+            oracle.check_dma_read(2, stale_page)
+
+
+class TestRecordOnlyMode:
+    def test_violations_recorded_not_raised(self):
+        oracle = make_oracle(record_only=True)
+        oracle.note_cpu_write(0, 5)
+        oracle.check_cpu_read(0, 4)
+        oracle.check_cpu_read(0, 3)
+        assert len(oracle.violations) == 2
+        assert not oracle.clean
+
+    def test_violation_description(self):
+        oracle = make_oracle(record_only=True)
+        oracle.note_cpu_write(0, 5)
+        oracle.check_cpu_read(0, 4)
+        violation = oracle.violations[0]
+        assert isinstance(violation, Violation)
+        assert violation.kind == "cpu-read"
+        assert "expected" in str(violation)
+
+    def test_clean_run_counts_checks(self):
+        oracle = make_oracle(record_only=True)
+        for i in range(10):
+            oracle.check_cpu_read(4 * i, 0)
+        assert oracle.checks == 10
+        assert oracle.clean

@@ -1,0 +1,43 @@
+"""Tests for the state and operation enums."""
+
+from repro.core.states import Action, LineState, MemoryOp
+
+
+class TestLineState:
+    def test_four_states(self):
+        assert {s.value for s in LineState} == {"E", "P", "D", "S"}
+
+    def test_str_is_single_letter(self):
+        assert str(LineState.EMPTY) == "E"
+        assert str(LineState.DIRTY) == "D"
+
+
+class TestMemoryOp:
+    def test_six_events(self):
+        assert len(list(MemoryOp)) == 6
+
+    def test_cpu_classification(self):
+        assert MemoryOp.CPU_READ.is_cpu
+        assert MemoryOp.CPU_WRITE.is_cpu
+        assert not MemoryOp.DMA_READ.is_cpu
+        assert not MemoryOp.PURGE.is_cpu
+
+    def test_dma_classification(self):
+        assert MemoryOp.DMA_READ.is_dma
+        assert MemoryOp.DMA_WRITE.is_dma
+        assert not MemoryOp.CPU_READ.is_dma
+        assert not MemoryOp.FLUSH.is_dma
+
+    def test_cache_op_classification(self):
+        assert MemoryOp.PURGE.is_cache_op
+        assert MemoryOp.FLUSH.is_cache_op
+        assert not MemoryOp.CPU_WRITE.is_cache_op
+
+    def test_classifications_partition_the_events(self):
+        for op in MemoryOp:
+            assert sum([op.is_cpu, op.is_dma, op.is_cache_op]) == 1
+
+
+class TestAction:
+    def test_values(self):
+        assert {a.value for a in Action} == {"-", "purge", "flush"}

@@ -1,0 +1,151 @@
+"""Tests for the Table 2 transition tables.
+
+These encode the paper's table row by row (with the documented
+normalizations), plus the structural facts the Section 3.2 correctness
+argument relies on.
+"""
+
+import pytest
+
+from repro.core.states import Action, LineState, MemoryOp
+from repro.core.transitions import (OTHER_TRANSITIONS, TARGET_TRANSITIONS,
+                                    other_transition, render_table2,
+                                    target_transition)
+
+E, P, D, S = (LineState.EMPTY, LineState.PRESENT, LineState.DIRTY,
+              LineState.STALE)
+
+
+class TestCompleteness:
+    def test_every_op_state_pair_has_a_target_transition(self):
+        for op in MemoryOp:
+            for state in LineState:
+                assert (op, state) in TARGET_TRANSITIONS
+
+    def test_every_op_state_pair_has_an_other_transition(self):
+        for op in MemoryOp:
+            for state in LineState:
+                assert (op, state) in OTHER_TRANSITIONS
+
+    def test_no_extra_entries(self):
+        assert len(TARGET_TRANSITIONS) == 24
+        assert len(OTHER_TRANSITIONS) == 24
+
+
+class TestTargetColumn:
+    """The paper's second column."""
+
+    def test_cpu_read_of_empty_becomes_present(self):
+        assert target_transition(MemoryOp.CPU_READ, E) == (Action.NONE, P)
+
+    def test_cpu_read_of_stale_requires_purge(self):
+        assert target_transition(MemoryOp.CPU_READ, S) == (Action.PURGE, P)
+
+    def test_cpu_write_dirties_from_any_nonstale_state(self):
+        for state in (E, P, D):
+            action, nxt = target_transition(MemoryOp.CPU_WRITE, state)
+            assert action is Action.NONE
+            assert nxt is D
+
+    def test_cpu_write_to_stale_requires_purge(self):
+        # "As with a CPU-read, a CPU-write to a stale line requires purging."
+        assert target_transition(MemoryOp.CPU_WRITE, S) == (Action.PURGE, D)
+
+    def test_dma_read_flushes_dirty_data(self):
+        action, nxt = target_transition(MemoryOp.DMA_READ, D)
+        assert action is Action.FLUSH
+
+    def test_dma_write_purges_rather_than_flushes_dirty_data(self):
+        # "a DMA-write under a dirty cache line only requires that the line
+        # be purged rather than flushed, since the DMA-write will cause the
+        # data in memory to be overwritten."
+        action, nxt = target_transition(MemoryOp.DMA_WRITE, D)
+        assert action is Action.PURGE
+
+    def test_dma_write_makes_present_lines_stale(self):
+        assert target_transition(MemoryOp.DMA_WRITE, P) == (Action.NONE, S)
+
+    @pytest.mark.parametrize("op", [MemoryOp.PURGE, MemoryOp.FLUSH])
+    @pytest.mark.parametrize("state", list(LineState))
+    def test_purge_and_flush_empty_the_target(self, op, state):
+        action, nxt = target_transition(op, state)
+        assert nxt is E
+        assert action is Action.NONE  # they ARE the consistency actions
+
+
+class TestOtherColumn:
+    """The paper's third column: similarly mapped but unaligned lines."""
+
+    def test_cpu_read_flushes_dirty_unaligned_alias(self):
+        # The flushed data must reach memory before the target's fill.
+        assert other_transition(MemoryOp.CPU_READ, D) == (Action.FLUSH, E)
+
+    def test_cpu_write_stales_present_unaligned_alias(self):
+        assert other_transition(MemoryOp.CPU_WRITE, P) == (Action.NONE, S)
+
+    def test_cpu_write_flushes_dirty_unaligned_alias(self):
+        # The write-allocate fill reads memory, which must be current.
+        assert other_transition(MemoryOp.CPU_WRITE, D) == (Action.FLUSH, E)
+
+    def test_cpu_ops_leave_empty_and_stale_alone(self):
+        for op in (MemoryOp.CPU_READ, MemoryOp.CPU_WRITE):
+            assert other_transition(op, E) == (Action.NONE, E)
+            assert other_transition(op, S) == (Action.NONE, S)
+
+    @pytest.mark.parametrize("op", [MemoryOp.DMA_READ, MemoryOp.DMA_WRITE])
+    @pytest.mark.parametrize("state", list(LineState))
+    def test_dma_transitions_identical_for_target_and_others(self, op, state):
+        # "DMA does not go through the cache, so all cache lines that
+        # contain the physical address ... share the same transitions."
+        assert TARGET_TRANSITIONS[(op, state)] == OTHER_TRANSITIONS[(op, state)]
+
+    @pytest.mark.parametrize("op", [MemoryOp.PURGE, MemoryOp.FLUSH])
+    @pytest.mark.parametrize("state", list(LineState))
+    def test_cache_ops_do_not_touch_other_lines(self, op, state):
+        assert other_transition(op, state) == (Action.NONE, state)
+
+
+class TestStructuralFacts:
+    """Facts the correctness argument of Section 3.2 rests on."""
+
+    def test_only_cpu_write_produces_a_dirty_line(self):
+        for table in (TARGET_TRANSITIONS, OTHER_TRANSITIONS):
+            for (op, state), (action, nxt) in table.items():
+                if nxt is D and state is not D:
+                    assert op is MemoryOp.CPU_WRITE
+
+    def test_a_line_never_leaves_stale_without_a_purge(self):
+        # Stale data must never be transferred; the only way out of S
+        # toward a readable state is through a purge (or an explicit
+        # purge/flush event, which *is* the removal).
+        for table in (TARGET_TRANSITIONS, OTHER_TRANSITIONS):
+            for (op, state), (action, nxt) in table.items():
+                if state is S and nxt in (P, D):
+                    assert action is Action.PURGE
+
+    def test_flush_only_ever_applies_to_dirty_lines(self):
+        for table in (TARGET_TRANSITIONS, OTHER_TRANSITIONS):
+            for (op, state), (action, nxt) in table.items():
+                if action is Action.FLUSH:
+                    assert state is D
+
+    def test_dirty_lines_never_silently_discarded(self):
+        # Leaving D for a non-D state always involves a flush or a purge
+        # (the purge cases are exactly DMA-write, where memory is about to
+        # be overwritten, and the explicit Purge event itself).
+        for table in (TARGET_TRANSITIONS, OTHER_TRANSITIONS):
+            for (op, state), (action, nxt) in table.items():
+                if state is D and nxt is not D and action is Action.NONE:
+                    assert op in (MemoryOp.PURGE, MemoryOp.FLUSH)
+
+
+class TestRendering:
+    def test_render_contains_all_operations(self):
+        text = render_table2()
+        for op in MemoryOp:
+            assert str(op) in text
+
+    def test_render_shows_required_actions(self):
+        text = render_table2()
+        assert "-(purge)->" in text
+        assert "-(flush)->" in text

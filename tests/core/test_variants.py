@@ -1,0 +1,139 @@
+"""Tests for the Section 3.3 architectural variants."""
+
+import pytest
+
+from repro.core.model import ConsistencyModel
+from repro.core.states import Action, LineState, MemoryOp
+from repro.core.variants import (DmaThroughCacheModel, PhysicallyIndexedModel,
+                                 WRITE_THROUGH_OTHER, WRITE_THROUGH_TARGET,
+                                 WriteThroughModel, multiprocessor_note,
+                                 set_associative_note)
+from repro.errors import ReproError
+
+E, P, D, S = (LineState.EMPTY, LineState.PRESENT, LineState.DIRTY,
+              LineState.STALE)
+
+
+class TestWriteThroughDerivation:
+    def test_no_dirty_state_in_the_tables(self):
+        for table in (WRITE_THROUGH_TARGET, WRITE_THROUGH_OTHER):
+            for (op, state), (action, nxt) in table.items():
+                assert state is not D
+                assert nxt is not D
+
+    def test_no_flush_action_survives(self):
+        # "There is also no need for the flush operation."
+        for table in (WRITE_THROUGH_TARGET, WRITE_THROUGH_OTHER):
+            for (op, state), (action, nxt) in table.items():
+                assert action is not Action.FLUSH
+
+    def test_three_states_per_op(self):
+        for op in MemoryOp:
+            rows = [s for (o, s) in WRITE_THROUGH_TARGET if o == op]
+            assert len(rows) == 3
+
+
+class TestWriteThroughModel:
+    def test_write_leaves_present_not_dirty(self):
+        model = WriteThroughModel(4)
+        model.apply(MemoryOp.CPU_WRITE, 0)
+        assert model.state(0) is P
+
+    def test_unaligned_alias_still_goes_stale(self):
+        # Staleness survives write-through: other cached copies are old.
+        model = WriteThroughModel(4)
+        model.apply(MemoryOp.CPU_READ, 1)
+        model.apply(MemoryOp.CPU_WRITE, 0)
+        assert model.state(1) is S
+
+    def test_stale_read_still_purges(self):
+        model = WriteThroughModel(4)
+        model.apply(MemoryOp.CPU_READ, 1)
+        model.apply(MemoryOp.CPU_WRITE, 0)
+        actions = model.apply(MemoryOp.CPU_READ, 1)
+        assert any(a.action is Action.PURGE for a in actions)
+
+    def test_dma_read_never_requires_any_action(self):
+        # Memory is never stale w.r.t. a write-through cache.
+        model = WriteThroughModel(4)
+        model.apply(MemoryOp.CPU_WRITE, 0)
+        model.apply(MemoryOp.CPU_READ, 1)
+        assert model.apply(MemoryOp.DMA_READ) == []
+
+    def test_dma_write_stales_cached_copies(self):
+        model = WriteThroughModel(4)
+        model.apply(MemoryOp.CPU_WRITE, 0)
+        model.apply(MemoryOp.DMA_WRITE)
+        assert model.state(0) is S
+
+    def test_never_holds_dirty(self):
+        model = WriteThroughModel(4)
+        for op, target in [(MemoryOp.CPU_WRITE, 0), (MemoryOp.CPU_READ, 1),
+                           (MemoryOp.CPU_WRITE, 2), (MemoryOp.DMA_WRITE, None),
+                           (MemoryOp.CPU_WRITE, 1)]:
+            model.apply(op, target)
+            assert D not in model.states
+
+
+class TestPhysicallyIndexed:
+    def test_cpu_traffic_needs_no_actions(self):
+        model = PhysicallyIndexedModel()
+        assert model.apply(MemoryOp.CPU_READ) == []
+        assert model.apply(MemoryOp.CPU_WRITE) == []
+        assert model.state is D
+
+    def test_only_dma_creates_obligations(self):
+        model = PhysicallyIndexedModel()
+        model.apply(MemoryOp.CPU_WRITE)
+        actions = model.apply(MemoryOp.DMA_READ)
+        assert [a.action for a in actions] == [Action.FLUSH]
+
+    def test_dma_write_purges_dirty(self):
+        model = PhysicallyIndexedModel()
+        model.apply(MemoryOp.CPU_WRITE)
+        actions = model.apply(MemoryOp.DMA_WRITE)
+        assert [a.action for a in actions] == [Action.PURGE]
+
+    def test_write_through_physical_cache_needs_nothing_for_dma_read(self):
+        model = PhysicallyIndexedModel(write_through=True)
+        model.apply(MemoryOp.CPU_WRITE)
+        assert model.state is P
+        assert model.apply(MemoryOp.DMA_READ) == []
+
+
+class TestDmaThroughCache:
+    def test_dma_write_folds_into_cpu_write(self):
+        model = DmaThroughCacheModel(4)
+        model.apply(MemoryOp.DMA_WRITE, 0)
+        assert model.state(0) is D   # behaves exactly like a CPU write
+
+    def test_dma_read_folds_into_cpu_read(self):
+        model = DmaThroughCacheModel(4)
+        model.apply(MemoryOp.DMA_READ, 2)
+        assert model.state(2) is P
+
+    def test_folded_write_flushes_unaligned_dirty_alias(self):
+        model = DmaThroughCacheModel(4)
+        model.apply(MemoryOp.CPU_WRITE, 0)
+        actions = model.apply(MemoryOp.DMA_WRITE, 1)
+        assert any(a.action is Action.FLUSH and a.cache_page == 0
+                   for a in actions)
+
+    def test_requires_a_target(self):
+        with pytest.raises(ReproError):
+            DmaThroughCacheModel(4).apply(MemoryOp.DMA_WRITE)
+
+
+class TestUnchangedRuleVariants:
+    def test_set_associative_note_mentions_unique_tags(self):
+        assert "unique" in set_associative_note()
+
+    def test_multiprocessor_note_mentions_distributed_cache(self):
+        assert "distributed" in multiprocessor_note()
+
+    def test_base_model_is_the_set_associative_model(self):
+        # Section 3.3: "the consistency rules remain the same" — the
+        # variant *is* ConsistencyModel, applied per set.
+        model = ConsistencyModel(4)
+        model.apply(MemoryOp.CPU_WRITE, 0)
+        assert model.state(0) is D

@@ -1,0 +1,313 @@
+"""Tests for the virtually indexed, physically tagged cache simulator.
+
+These exercise exactly the hazards the paper is about: aliased residency,
+write-back staleness, lost write-backs, and the flush/purge semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.cache import Cache
+from repro.hw.params import CacheGeometry, CostModel
+from repro.hw.physmem import PhysicalMemory
+from repro.hw.stats import Clock, Counters, Reason
+
+PAGE = 4096
+
+
+def make_cache(size=16 * 1024, assoc=1, write_through=False,
+               physically_indexed=False, is_icache=False):
+    geo = CacheGeometry(size=size, associativity=assoc,
+                        write_through=write_through,
+                        physically_indexed=physically_indexed)
+    mem = PhysicalMemory(num_pages=32, page_size=PAGE)
+    clock = Clock()
+    counters = Counters()
+    cache = Cache(geo, mem, CostModel(), clock, counters,
+                  name="icache" if is_icache else "dcache",
+                  is_icache=is_icache)
+    return cache, mem, clock, counters
+
+
+class TestWordAccess:
+    def test_miss_then_hit(self):
+        cache, mem, clock, counters = make_cache()
+        mem.write_word(100 * 4, 77)
+        assert cache.read(100 * 4, 100 * 4) == 77
+        assert counters.read_misses == 1
+        assert cache.read(100 * 4, 100 * 4) == 77
+        assert counters.read_hits == 1
+
+    def test_write_back_only_on_eviction(self):
+        cache, mem, clock, counters = make_cache()
+        cache.write(0, 0, 42)
+        assert mem.read_word(0) == 0          # write-back: memory stale
+        # Evict by touching a conflicting line (same set, way span apart).
+        span = cache.geo.way_span
+        cache.read(span, span)                # same index, different tag
+        assert mem.read_word(0) == 42         # victim written back
+        assert counters.write_backs == 1
+
+    def test_fill_brings_whole_line(self):
+        cache, mem, clock, counters = make_cache()
+        mem.write_word(0, 10)
+        mem.write_word(4, 11)
+        cache.read(0, 0)
+        assert cache.read(4, 4) == 11
+        assert counters.read_misses == 1
+        assert counters.read_hits == 1
+
+    def test_virtual_index_physical_tag_alias_duplication(self):
+        # The same physical word read through two unaligned virtual
+        # addresses occupies two cache lines — the central hazard.
+        cache, mem, clock, counters = make_cache()
+        mem.write_word(0, 5)
+        va2 = PAGE  # different cache page, same page offset
+        cache.read(0, 0)
+        cache.read(va2, 0)
+        assert cache.resident_lines(0, 0) == 1
+        assert cache.resident_lines(1, 0) == 1
+
+    def test_aligned_alias_hits_the_same_line(self):
+        # Aligned aliases resolve in the cache without going to memory
+        # (physically tagged, Section 2.2).
+        cache, mem, clock, counters = make_cache()
+        cache.write(0, 0, 9)
+        span = cache.geo.way_span
+        assert cache.read(span, 0) == 9       # aligned alias: same set+tag
+        assert counters.read_hits == 1
+        assert counters.read_misses == 0
+
+    def test_stale_read_through_unaligned_alias_without_management(self):
+        # Without consistency management the second alias sees old memory:
+        # the hazard the whole paper exists to manage.
+        cache, mem, clock, counters = make_cache()
+        cache.write(0, 0, 123)                # dirty in cache page 0
+        assert cache.read(PAGE, 0) == 0       # unaligned alias reads stale 0
+
+    def test_mismatched_page_offset_rejected(self):
+        cache, mem, clock, counters = make_cache()
+        with pytest.raises(Exception):
+            cache.read(4, 8)
+
+
+class TestFlushPurge:
+    def test_flush_writes_back_and_invalidates(self):
+        cache, mem, clock, counters = make_cache()
+        cache.write(0, 0, 55)
+        hits = cache.flush_page_frame(0, 0, Reason.EXPLICIT)
+        assert hits == 1
+        assert mem.read_word(0) == 55
+        assert cache.resident_lines(0, 0) == 0
+
+    def test_purge_discards_dirty_data(self):
+        cache, mem, clock, counters = make_cache()
+        cache.write(0, 0, 55)
+        cache.purge_page_frame(0, 0, Reason.EXPLICIT)
+        assert mem.read_word(0) == 0          # dirty data discarded
+        assert cache.resident_lines(0, 0) == 0
+
+    def test_flush_targets_only_the_matching_physical_page(self):
+        cache, mem, clock, counters = make_cache()
+        cache.write(0, 0, 1)                      # frame 0 via cache page 0
+        cache.write(PAGE, PAGE, 2)                # frame 1 via cache page 1
+        cache.flush_page_frame(0, PAGE, Reason.EXPLICIT)  # frame 1 at cp 0: none
+        assert cache.resident_lines(0, 0) == 1    # frame 0 untouched
+
+    def test_flush_of_absent_page_is_cheap(self):
+        cache, mem, clock, counters = make_cache()
+        cost = CostModel()
+        cache.write(0, 0, 1)
+        before = clock.cycles
+        cache.flush_page_frame(2, 0, Reason.EXPLICIT)   # nothing resident
+        cheap = clock.cycles - before
+        before = clock.cycles
+        cache.flush_page_frame(0, 0, Reason.EXPLICIT)   # one resident line
+        expensive = clock.cycles - before
+        assert expensive > cheap
+
+    def test_fully_resident_flush_costs_about_seven_times_absent(self):
+        cache, mem, clock, counters = make_cache()
+        cache.write_page(0, 0, np.arange(1024, dtype=np.uint64))
+        before = clock.cycles
+        # flush cost only (write-back cycles counted separately per line)
+        hits = cache.purge_page_frame(0, 0, Reason.EXPLICIT)
+        resident_cost = clock.cycles - before
+        assert hits == cache.geo.lines_per_page
+        before = clock.cycles
+        cache.purge_page_frame(0, 0, Reason.EXPLICIT)
+        absent_cost = clock.cycles - before
+        assert resident_cost == 7 * absent_cost
+
+    def test_icache_purge_constant_time(self):
+        cache, mem, clock, counters = make_cache(is_icache=True)
+        cache.read_page(0, 0)
+        before = clock.cycles
+        cache.purge_page_frame(0, 0, Reason.EXPLICIT)
+        full = clock.cycles - before
+        before = clock.cycles
+        cache.purge_page_frame(0, 0, Reason.EXPLICIT)
+        empty = clock.cycles - before
+        assert full == empty == CostModel().icache_purge_page
+
+    def test_flush_purge_counters_tagged_by_reason(self):
+        cache, mem, clock, counters = make_cache()
+        cache.flush_page_frame(0, 0, Reason.DMA_READ)
+        cache.purge_page_frame(1, 0, Reason.NEW_MAPPING)
+        assert counters.total_flushes("dcache", Reason.DMA_READ) == 1
+        assert counters.total_purges("dcache", Reason.NEW_MAPPING) == 1
+
+
+class TestPageOps:
+    def test_write_page_then_read_page(self):
+        cache, mem, clock, counters = make_cache()
+        values = np.arange(1024, dtype=np.uint64) + 7
+        cache.write_page(0, 0, values)
+        assert np.array_equal(cache.read_page(0, 0), values)
+
+    def test_write_page_is_write_back(self):
+        cache, mem, clock, counters = make_cache()
+        values = np.ones(1024, dtype=np.uint64)
+        cache.write_page(0, 0, values)
+        assert not mem.read_page(0).any()     # memory not yet updated
+        cache.flush_page_frame(0, 0, Reason.EXPLICIT)
+        assert np.array_equal(mem.read_page(0), values)
+
+    def test_write_page_evicts_dirty_victims(self):
+        cache, mem, clock, counters = make_cache()
+        cache.write(0, 0, 42)                 # dirty line, frame 0, cp 0
+        span = cache.geo.way_span
+        # write frame 4 through an aligned window (cache page 0)
+        cache.write_page(0, 4 * PAGE, np.zeros(1024, dtype=np.uint64))
+        assert mem.read_word(0) == 42         # victim reached memory
+
+    def test_page_ops_equivalent_to_word_loops(self):
+        cache_a, mem_a, _, _ = make_cache()
+        cache_b, mem_b, _, _ = make_cache()
+        values = np.arange(1024, dtype=np.uint64) * 3
+        cache_a.write_page(PAGE, PAGE, values)
+        for i in range(1024):
+            cache_b.write(PAGE + 4 * i, PAGE + 4 * i, int(values[i]))
+        got_a = cache_a.read_page(PAGE, PAGE)
+        got_b = np.array([cache_b.read(PAGE + 4 * i, PAGE + 4 * i)
+                          for i in range(1024)], dtype=np.uint64)
+        assert np.array_equal(got_a, got_b)
+        # and the same physical state after flushing
+        cache_a.flush_page_frame(1, PAGE, Reason.EXPLICIT)
+        cache_b.flush_page_frame(1, PAGE, Reason.EXPLICIT)
+        assert np.array_equal(mem_a.read_page(1), mem_b.read_page(1))
+
+    def test_zero_page(self):
+        cache, mem, clock, counters = make_cache()
+        cache.write_page(0, 0, np.ones(1024, dtype=np.uint64))
+        cache.zero_page(0, 0)
+        assert not cache.read_page(0, 0).any()
+
+    def test_read_page_mixes_cached_dirty_and_memory_lines(self):
+        cache, mem, clock, counters = make_cache()
+        mem.write_page(0, np.full(1024, 5, dtype=np.uint64))
+        cache.write(0, 0, 9)                   # one dirty line on top
+        page = cache.read_page(0, 0)
+        assert page[0] == 9                    # cached dirty value
+        assert page[100] == 5                  # filled from memory
+
+
+class TestWriteThrough:
+    def test_stores_reach_memory_immediately(self):
+        cache, mem, clock, counters = make_cache(write_through=True)
+        cache.write(0, 0, 11)
+        assert mem.read_word(0) == 11
+
+    def test_no_dirty_lines_ever(self):
+        cache, mem, clock, counters = make_cache(write_through=True)
+        cache.write(0, 0, 11)
+        cache.write_page(PAGE, PAGE, np.ones(1024, dtype=np.uint64))
+        assert cache.dirty_cache_pages(0) == []
+        assert cache.dirty_cache_pages(PAGE) == []
+
+    def test_page_write_through(self):
+        cache, mem, clock, counters = make_cache(write_through=True)
+        values = np.arange(1024, dtype=np.uint64)
+        cache.write_page(0, 0, values)
+        assert np.array_equal(mem.read_page(0), values)
+
+
+class TestPhysicallyIndexed:
+    def test_aliases_always_align(self):
+        cache, mem, clock, counters = make_cache(physically_indexed=True)
+        cache.write(0, 0, 31)
+        # A wildly different virtual address still hits: index from paddr.
+        assert cache.read(5 * PAGE, 0) == 31
+        assert counters.read_hits == 1
+
+
+class TestSetAssociative:
+    def test_two_way_holds_two_conflicting_lines(self):
+        cache, mem, clock, counters = make_cache(size=16 * 1024, assoc=2)
+        span = cache.geo.way_span
+        cache.write(0, 0, 1)
+        cache.write(span, span, 2)            # same set, other way
+        assert cache.read(0, 0) == 1          # still resident
+        assert cache.read(span, span) == 2
+        assert counters.write_backs == 0
+
+    def test_lru_eviction(self):
+        cache, mem, clock, counters = make_cache(size=16 * 1024, assoc=2)
+        span = cache.geo.way_span
+        cache.write(0, 0, 1)
+        cache.write(span, span, 2)
+        cache.read(0, 0)                      # make way 0 most recent
+        cache.read(2 * span, 2 * span)        # evicts the LRU (tag span)
+        assert mem.read_word(span) == 2       # victim written back
+
+    def test_physical_tag_unique_within_set(self):
+        # Hardware invariant Section 3.3 relies on: at most one copy of a
+        # physical line per set.
+        cache, mem, clock, counters = make_cache(size=16 * 1024, assoc=2)
+        cache.write(0, 0, 1)
+        cache.write(0, 0, 2)                  # same line again
+        assert cache.resident_lines(0, 0) == 1
+
+    def test_page_ops_work_associative(self):
+        cache, mem, clock, counters = make_cache(size=16 * 1024, assoc=2)
+        values = np.arange(1024, dtype=np.uint64)
+        cache.write_page(0, 0, values)
+        assert np.array_equal(cache.read_page(0, 0), values)
+        cache.flush_page_frame(0, 0, Reason.EXPLICIT)
+        assert np.array_equal(mem.read_page(0), values)
+
+
+class TestLostWriteBackHazard:
+    def test_doubly_dirty_alias_loses_a_write_without_management(self):
+        # Section 2.2: "Writes can also be lost if a physical address is
+        # dirty in more than one cache line."  Demonstrate the hazard the
+        # management layer prevents.
+        cache, mem, clock, counters = make_cache()
+        cache.write(0, 0, 111)        # dirty in cache page 0
+        cache.write(PAGE, 0, 222)     # dirty in cache page 1 (same paddr!)
+        cache.flush_page_frame(1, 0, Reason.EXPLICIT)   # newer value lands
+        cache.flush_page_frame(0, 0, Reason.EXPLICIT)   # older overwrites it
+        assert mem.read_word(0) == 111  # the newer write (222) was lost
+
+
+class TestInspection:
+    def test_invalidate_all(self):
+        cache, mem, clock, counters = make_cache()
+        cache.write(0, 0, 1)
+        cache.invalidate_all()
+        assert cache.resident_lines(0, 0) == 0
+
+    def test_dirty_cache_pages(self):
+        cache, mem, clock, counters = make_cache()
+        cache.write(0, 0, 1)
+        cache.write(2 * PAGE, PAGE, 1)
+        assert cache.dirty_cache_pages(0) == [0]
+        assert cache.dirty_cache_pages(PAGE) == [2]
+
+    def test_line_value(self):
+        cache, mem, clock, counters = make_cache()
+        cache.write(0, 0, 77)
+        line = cache.line_value(0, 0, 0)
+        assert line is not None
+        assert line[0] == 77
+        assert cache.line_value(1, 0, 0) is None

@@ -1,0 +1,69 @@
+"""Tests for the DMA engine (cache-bypassing, as on the 700 series)."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import ShadowMemory
+from repro.errors import AddressError, StaleDataError
+from repro.hw.dma import DmaEngine
+from repro.hw.params import MachineConfig
+from repro.hw.physmem import PhysicalMemory
+from repro.hw.stats import Clock, Counters
+
+PAGE = 4096
+WPP = 1024
+
+
+def make_dma(with_oracle=True):
+    config = MachineConfig(phys_pages=8)
+    mem = PhysicalMemory(8, PAGE)
+    oracle = ShadowMemory(8, PAGE) if with_oracle else None
+    dma = DmaEngine(mem, config, Clock(), Counters(), oracle=oracle)
+    return dma, mem, oracle
+
+
+class TestTransfers:
+    def test_dma_write_deposits_in_memory(self):
+        dma, mem, oracle = make_dma()
+        values = np.arange(WPP, dtype=np.uint64)
+        dma.dma_write(2, values)
+        assert np.array_equal(mem.read_page(2), values)
+        assert dma.counters.dma_writes == 1
+
+    def test_dma_read_returns_memory_contents(self):
+        dma, mem, oracle = make_dma(with_oracle=False)
+        mem.write_page(1, np.full(WPP, 9, dtype=np.uint64))
+        assert np.array_equal(dma.dma_read(1),
+                              np.full(WPP, 9, dtype=np.uint64))
+        assert dma.counters.dma_reads == 1
+
+    def test_transfers_charge_cycles(self):
+        dma, mem, oracle = make_dma()
+        dma.dma_write(0, np.zeros(WPP, dtype=np.uint64))
+        assert dma.clock.cycles > 0
+
+    def test_partial_page_rejected(self):
+        dma, mem, oracle = make_dma()
+        with pytest.raises(AddressError):
+            dma.dma_write(0, np.zeros(10, dtype=np.uint64))
+
+
+class TestOracleIntegration:
+    def test_dma_write_updates_the_oracle(self):
+        dma, mem, oracle = make_dma()
+        values = np.full(WPP, 3, dtype=np.uint64)
+        dma.dma_write(2, values)
+        oracle.check_cpu_read(2 * PAGE, 3)   # device data is the truth now
+
+    def test_dma_read_of_consistent_memory_passes(self):
+        dma, mem, oracle = make_dma()
+        dma.dma_write(1, np.full(WPP, 4, dtype=np.uint64))
+        dma.dma_read(1)
+
+    def test_dma_read_of_stale_memory_caught(self):
+        # A CPU write that stayed in a write-back cache: memory is stale
+        # and the device must not read it (Section 2.4).
+        dma, mem, oracle = make_dma()
+        oracle.note_cpu_write(PAGE, 42)      # write never flushed to memory
+        with pytest.raises(StaleDataError):
+            dma.dma_read(1)

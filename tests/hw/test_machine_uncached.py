@@ -1,0 +1,104 @@
+"""Tests for the machine's uncached access paths (cache bypass)."""
+
+import numpy as np
+import pytest
+
+from repro.hw.machine import Machine
+from repro.hw.params import small_machine
+from repro.prot import Prot
+
+PAGE = 4096
+
+
+class UncachedOS:
+    """Maps everything uncached with full rights."""
+
+    def __init__(self, machine, uncached=True):
+        self.machine = machine
+        self.uncached = uncached
+        self.mappings = {}
+        machine.translation_source = self.translate
+
+    def map(self, asid, vpage, ppage):
+        self.mappings[(asid, vpage)] = ppage
+        self.machine.tlb.invalidate(asid, vpage)
+
+    def translate(self, asid, vpage):
+        ppage = self.mappings.get((asid, vpage))
+        if ppage is None:
+            return None
+        return ppage, Prot.ALL, self.uncached
+
+
+@pytest.fixture
+def rig():
+    machine = Machine(small_machine())
+    return machine, UncachedOS(machine)
+
+
+class TestUncachedAccess:
+    def test_stores_reach_memory_directly(self, rig):
+        machine, os_ = rig
+        os_.map(1, 10, 3)
+        machine.write(1, 10 * PAGE, 99)
+        assert machine.memory.read_word(3 * PAGE) == 99
+        assert machine.counters.write_misses == 0   # cache never touched
+
+    def test_loads_come_from_memory(self, rig):
+        machine, os_ = rig
+        os_.map(1, 10, 3)
+        machine.memory.write_word(3 * PAGE + 8, 55)
+        if machine.oracle:
+            machine.oracle.note_cpu_write(3 * PAGE + 8, 55)
+        assert machine.read(1, 10 * PAGE + 8) == 55
+        assert machine.counters.read_misses == 0
+
+    def test_page_ops_bypass_the_cache(self, rig):
+        machine, os_ = rig
+        os_.map(1, 10, 3)
+        values = np.arange(1024, dtype=np.uint64)
+        machine.write_page(1, 10 * PAGE, values)
+        assert np.array_equal(machine.memory.read_page(3), values)
+        assert np.array_equal(machine.read_page(1, 10 * PAGE), values)
+        assert machine.counters.read_misses == 0
+
+    def test_unaligned_aliases_trivially_consistent(self, rig):
+        machine, os_ = rig
+        os_.map(1, 10, 3)
+        os_.map(1, 11, 3)     # unaligned alias, both uncached
+        for i in range(10):
+            machine.write(1, 10 * PAGE, i)
+            assert machine.read(1, 11 * PAGE) == i
+
+    def test_uncached_costs_more_than_a_cache_hit(self, rig):
+        machine, os_ = rig
+        os_.map(1, 10, 3)
+        machine.read(1, 10 * PAGE)
+        before = machine.clock.cycles
+        machine.read(1, 10 * PAGE)
+        assert (machine.clock.cycles - before
+                >= machine.config.cost.uncached_word)
+
+    def test_two_element_translation_defaults_to_cached(self):
+        machine = Machine(small_machine())
+        os_ = UncachedOS(machine, uncached=False)
+        # translation source returning only (ppage, prot) must also work
+        machine.translation_source = (
+            lambda asid, vpage: (3, Prot.ALL) if (asid, vpage) == (1, 10)
+            else None)
+        machine.write(1, 10 * PAGE, 7)
+        assert machine.counters.write_misses == 1   # went through the cache
+        assert machine.memory.read_word(3 * PAGE) == 0  # write-back held it
+
+    def test_mixed_cached_and_uncached_pages(self, rig):
+        machine, os_ = rig
+        os_.map(1, 10, 3)                    # uncached
+        machine.translation_source = (
+            lambda asid, vpage:
+            (3, Prot.ALL, True) if vpage == 10
+            else ((4, Prot.ALL, False) if vpage == 11 else None))
+        machine.tlb.invalidate_all()
+        machine.write(1, 10 * PAGE, 1)       # straight to memory
+        machine.write(1, 11 * PAGE, 2)       # into the cache
+        assert machine.memory.read_word(3 * PAGE) == 1
+        assert machine.memory.read_word(4 * PAGE) == 0

@@ -1,0 +1,91 @@
+"""Tests for cache geometry, cost model and machine configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.params import (CacheGeometry, CostModel, MachineConfig,
+                             small_machine)
+
+
+class TestCacheGeometry:
+    def test_default_is_the_720_data_cache(self):
+        geo = CacheGeometry()
+        assert geo.size == 256 * 1024
+        assert geo.num_cache_pages == 64
+        assert geo.lines_per_page == 128
+        assert geo.words_per_line == 8
+
+    def test_way_span_and_sets(self):
+        geo = CacheGeometry(size=16 * 1024, line_size=32)
+        assert geo.num_sets == 512
+        assert geo.way_span == 16 * 1024
+        assert geo.num_cache_pages == 4
+
+    def test_associativity_divides_span(self):
+        geo = CacheGeometry(size=32 * 1024, associativity=2)
+        assert geo.way_span == 16 * 1024
+        assert geo.num_cache_pages == 4
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size=3000)
+
+    def test_rejects_way_smaller_than_page(self):
+        # Each way must span whole pages (the Section 4 hardware
+        # requirement that makes cache pages well defined).
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size=2048, page_size=4096)
+
+    def test_set_index_uses_line_granularity(self):
+        geo = CacheGeometry(size=16 * 1024)
+        assert geo.set_index(0) == 0
+        assert geo.set_index(32) == 1
+        assert geo.set_index(16 * 1024) == 0  # wraps at the way span
+
+    def test_cache_page_wraps(self):
+        geo = CacheGeometry(size=16 * 1024)   # 4 cache pages
+        assert geo.cache_page(0) == 0
+        assert geo.cache_page(4096 * 5) == 1
+
+    def test_aligned(self):
+        geo = CacheGeometry(size=16 * 1024)
+        assert geo.aligned(0, 4 * 4096)
+        assert not geo.aligned(0, 5 * 4096)
+
+
+class TestCostModel:
+    def test_resident_flush_seven_times_nonresident(self):
+        cost = CostModel()
+        assert cost.flush_line_hit == 7 * cost.flush_line_miss
+
+    def test_purge_no_cheaper_than_flush(self):
+        # "the 720 appears to purge no more quickly than it flushes"
+        cost = CostModel()
+        assert cost.purge_line_hit >= cost.flush_line_hit
+        assert cost.purge_line_miss >= cost.flush_line_miss
+
+    def test_seconds_at_50mhz(self):
+        cost = CostModel()
+        assert cost.seconds(50_000_000) == pytest.approx(1.0)
+
+
+class TestMachineConfig:
+    def test_default_has_split_caches(self):
+        config = MachineConfig()
+        assert config.dcache.size != config.icache.size
+        assert config.page_size == 4096
+
+    def test_rejects_mismatched_page_sizes(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(icache=CacheGeometry(page_size=8192,
+                                               size=128 * 1024))
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(phys_pages=0)
+
+    def test_small_machine_overrides(self):
+        config = small_machine(phys_pages=32)
+        assert config.phys_pages == 32
+        assert config.dcache.num_cache_pages == 4
+        assert config.icache.num_cache_pages == 2

@@ -1,0 +1,56 @@
+"""Tests for counters, the clock, and reason-tagged accounting."""
+
+from repro.hw.stats import Clock, Counters, FaultKind, Reason
+
+
+class TestClock:
+    def test_advances(self):
+        clock = Clock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.cycles == 15
+
+
+class TestReasonTaggedAccounting:
+    def test_flush_attribution(self):
+        counters = Counters()
+        counters.record_flush("dcache", Reason.DMA_READ, 100)
+        counters.record_flush("dcache", Reason.D_TO_I_COPY, 50)
+        counters.record_flush("icache", Reason.DMA_READ, 10)
+        assert counters.total_flushes() == 3
+        assert counters.total_flushes("dcache") == 2
+        assert counters.total_flushes(reason=Reason.DMA_READ) == 2
+        assert counters.total_flushes("dcache", Reason.DMA_READ) == 1
+        assert counters.total_flush_cycles("dcache") == 150
+
+    def test_purge_attribution(self):
+        counters = Counters()
+        counters.record_purge("dcache", Reason.NEW_MAPPING, 30)
+        counters.record_purge("dcache", Reason.NEW_MAPPING, 40)
+        assert counters.total_purges() == 2
+        assert counters.total_purge_cycles(
+            "dcache", Reason.NEW_MAPPING) == 70
+
+    def test_fault_attribution(self):
+        counters = Counters()
+        counters.record_fault(FaultKind.MAPPING, 300)
+        counters.record_fault(FaultKind.CONSISTENCY, 300)
+        counters.record_fault(FaultKind.CONSISTENCY, 300)
+        assert counters.faults[FaultKind.CONSISTENCY] == 2
+        assert counters.fault_cycles[FaultKind.MAPPING] == 300
+
+    def test_snapshot_keys(self):
+        snap = Counters().snapshot()
+        for key in ("page_flushes", "page_purges", "mapping_faults",
+                    "consistency_faults", "dma_reads", "dma_writes",
+                    "d_to_i_copies", "write_backs"):
+            assert key in snap
+            assert snap[key] == 0
+
+    def test_every_reason_has_a_distinct_label(self):
+        labels = {str(reason) for reason in Reason}
+        assert len(labels) == len(list(Reason))
+
+    def test_fault_kinds(self):
+        assert {str(k) for k in FaultKind} == {
+            "mapping", "consistency", "protection"}

@@ -1,0 +1,78 @@
+"""Tests for the TLB."""
+
+import pytest
+
+from repro.hw.params import CostModel
+from repro.hw.stats import Clock, Counters
+from repro.hw.tlb import Tlb
+from repro.prot import Prot
+
+
+@pytest.fixture
+def tlb():
+    return Tlb(entries=4, cost=CostModel(), clock=Clock(),
+               counters=Counters())
+
+
+class TestLookup:
+    def test_miss_then_hit(self, tlb):
+        assert tlb.lookup(1, 10) is None
+        tlb.insert(1, 10, 5, Prot.READ)
+        entry = tlb.lookup(1, 10)
+        assert entry.ppage == 5
+        assert entry.prot is Prot.READ
+        assert tlb.counters.tlb_misses == 1
+        assert tlb.counters.tlb_hits == 1
+
+    def test_asids_are_distinct(self, tlb):
+        tlb.insert(1, 10, 5, Prot.READ)
+        assert tlb.lookup(2, 10) is None
+
+    def test_miss_charges_refill_cycles(self, tlb):
+        tlb.lookup(1, 10)
+        assert tlb.clock.cycles == CostModel().tlb_miss
+
+
+class TestReplacement:
+    def test_fifo_eviction_at_capacity(self, tlb):
+        for vpage in range(5):
+            tlb.insert(1, vpage, vpage, Prot.READ)
+        assert len(tlb) == 4
+        assert tlb.lookup(1, 0) is None       # oldest evicted
+        assert tlb.lookup(1, 4) is not None
+
+    def test_reinsert_updates_in_place(self, tlb):
+        tlb.insert(1, 10, 5, Prot.READ)
+        tlb.insert(1, 10, 5, Prot.READ_WRITE)
+        assert len(tlb) == 1
+        assert tlb.lookup(1, 10).prot is Prot.READ_WRITE
+
+
+class TestInvalidation:
+    def test_single_entry(self, tlb):
+        tlb.insert(1, 10, 5, Prot.READ)
+        tlb.invalidate(1, 10)
+        assert tlb.lookup(1, 10) is None
+
+    def test_invalidate_missing_is_noop(self, tlb):
+        tlb.invalidate(1, 99)
+
+    def test_invalidate_asid(self, tlb):
+        tlb.insert(1, 10, 5, Prot.READ)
+        tlb.insert(1, 11, 6, Prot.READ)
+        tlb.insert(2, 10, 7, Prot.READ)
+        tlb.invalidate_asid(1)
+        assert tlb.lookup(1, 10) is None
+        assert tlb.lookup(1, 11) is None
+        assert tlb.lookup(2, 10) is not None
+
+    def test_invalidate_all(self, tlb):
+        tlb.insert(1, 10, 5, Prot.READ)
+        tlb.insert(2, 11, 6, Prot.READ)
+        tlb.invalidate_all()
+        assert len(tlb) == 0
+
+    def test_contains(self, tlb):
+        tlb.insert(1, 10, 5, Prot.READ)
+        assert (1, 10) in tlb
+        assert (1, 11) not in tlb

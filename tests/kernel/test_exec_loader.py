@@ -1,0 +1,83 @@
+"""Tests for program loading and the data-to-instruction copy path."""
+
+import pytest
+
+from repro.hw.params import MachineConfig
+from repro.hw.stats import Reason
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import UserProcess
+from repro.vm.policy import CONFIG_A, CONFIG_F
+
+
+def make_kernel(policy=CONFIG_F):
+    return Kernel(policy=policy, config=MachineConfig(phys_pages=256))
+
+
+class TestExec:
+    def test_text_faults_in_lazily(self):
+        kernel = make_kernel()
+        program = kernel.exec_loader.register_program("prog", 2, 1)
+        proc = UserProcess(kernel, "p")
+        text, data = kernel.exec_loader.exec_into(proc.task, program)
+        d2i_before = kernel.machine.counters.d_to_i_copies
+        proc.task.ifetch(text)
+        assert kernel.machine.counters.d_to_i_copies == d2i_before + 1
+        proc.task.ifetch(text)            # second fetch: no new copy
+        assert kernel.machine.counters.d_to_i_copies == d2i_before + 1
+
+    def test_text_contents_come_from_the_file(self):
+        from repro.kernel.disk import synthetic_block
+        kernel = make_kernel()
+        program = kernel.exec_loader.register_program("prog", 1, 1)
+        proc = UserProcess(kernel, "p")
+        text, _ = kernel.exec_loader.exec_into(proc.task, program)
+        expected = synthetic_block(program.file_id, 0, 1024)
+        assert proc.task.ifetch(text, word=5) == int(expected[5])
+
+    def test_each_text_fault_flushes_the_data_cache(self):
+        kernel = make_kernel()
+        program = kernel.exec_loader.register_program("prog", 1, 1)
+        proc = UserProcess(kernel, "p")
+        text, _ = kernel.exec_loader.exec_into(proc.task, program)
+        before = kernel.machine.counters.total_flushes(
+            "dcache", Reason.D_TO_I_COPY)
+        proc.task.ifetch(text)
+        assert kernel.machine.counters.total_flushes(
+            "dcache", Reason.D_TO_I_COPY) == before + 1
+
+    def test_old_system_attributes_no_d2i_copies(self):
+        # Section 5.1: "The 'A' configurations all show no data to
+        # instruction space copies" — the flush hides in the unmap path.
+        kernel = make_kernel(CONFIG_A)
+        program = kernel.exec_loader.register_program("prog", 1, 1)
+        proc = UserProcess(kernel, "p")
+        text, _ = kernel.exec_loader.exec_into(proc.task, program)
+        proc.task.ifetch(text)
+        assert kernel.machine.counters.d_to_i_copies == 0
+
+    def test_spawn_runs_the_program(self):
+        kernel = make_kernel()
+        program = kernel.exec_loader.register_program("prog", 2, 2)
+        parent = UserProcess(kernel, "parent")
+        child = parent.spawn(program)
+        assert child.task.asid != parent.task.asid
+        child.exit()
+        parent.exit()
+
+    def test_unknown_program_rejected(self):
+        from repro.errors import KernelError
+        kernel = make_kernel()
+        with pytest.raises(KernelError):
+            kernel.exec_loader.program("missing")
+
+    def test_repeated_execs_generate_fresh_copies(self):
+        # As in the paper's system: text is copied out of the buffer cache
+        # per faulting process, so kernel-build's 200 compiles pay 200x.
+        kernel = make_kernel()
+        program = kernel.exec_loader.register_program("prog", 1, 1)
+        parent = UserProcess(kernel, "parent")
+        d2i_before = kernel.machine.counters.d_to_i_copies
+        for _ in range(3):
+            child = parent.spawn(program)
+            child.exit()
+        assert kernel.machine.counters.d_to_i_copies == d2i_before + 3

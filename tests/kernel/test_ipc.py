@@ -1,0 +1,96 @@
+"""Tests for IPC page transfer and the aligned-destination optimization."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.hw.params import MachineConfig
+from repro.kernel.ipc import transfer_page
+from repro.kernel.kernel import Kernel
+from repro.vm.policy import CONFIG_B, CONFIG_C
+
+
+def make_kernel(policy):
+    return Kernel(policy=policy, config=MachineConfig(phys_pages=128),
+                  with_unix_server=False)
+
+
+class TestTransferMechanics:
+    def test_page_moves_between_tasks(self):
+        kernel = make_kernel(CONFIG_C)
+        sender = kernel.create_task("s")
+        receiver = kernel.create_task("r")
+        vpage = sender.allocate_anon(1)
+        sender.write(vpage, 0, 42)
+        dst = transfer_page(kernel, sender, vpage, receiver)
+        assert receiver.read(dst, 0) == 42
+        assert vpage not in sender.space
+        assert kernel.machine.counters.ipc_page_moves == 1
+
+    def test_sender_loses_access(self):
+        from repro.errors import ProtectionError
+        kernel = make_kernel(CONFIG_C)
+        sender = kernel.create_task("s")
+        receiver = kernel.create_task("r")
+        vpage = sender.allocate_anon(1)
+        sender.write(vpage, 0, 42)
+        transfer_page(kernel, sender, vpage, receiver)
+        with pytest.raises(ProtectionError):
+            sender.read(vpage, 0)
+
+    def test_transfer_of_unmapped_page_rejected(self):
+        kernel = make_kernel(CONFIG_C)
+        sender = kernel.create_task("s")
+        receiver = kernel.create_task("r")
+        with pytest.raises(KernelError):
+            transfer_page(kernel, sender, 999, receiver)
+
+    def test_untouched_page_transfers_lazily(self):
+        kernel = make_kernel(CONFIG_C)
+        sender = kernel.create_task("s")
+        receiver = kernel.create_task("r")
+        vpage = sender.allocate_anon(1)   # no frame yet
+        dst = transfer_page(kernel, sender, vpage, receiver)
+        assert receiver.read(dst, 0) == 0   # zero-fills on first touch
+
+
+class TestAlignmentSelection:
+    def test_aligned_policy_matches_sender_cache_page(self):
+        kernel = make_kernel(CONFIG_C)
+        ncp = kernel.machine.dcache.geo.num_cache_pages
+        sender = kernel.create_task("s")
+        receiver = kernel.create_task("r")
+        # occupy some receiver space so alignment is non-trivial
+        receiver.allocate_anon(3)
+        vpage = sender.allocate_anon(1)
+        sender.write(vpage, 0, 1)
+        dst = transfer_page(kernel, sender, vpage, receiver)
+        assert dst % ncp == vpage % ncp
+
+    def test_aligned_transfer_needs_no_cache_ops_at_receive(self):
+        kernel = make_kernel(CONFIG_C)
+        sender = kernel.create_task("s")
+        receiver = kernel.create_task("r")
+        vpage = sender.allocate_anon(1)
+        sender.write(vpage, 0, 1)
+        dst = transfer_page(kernel, sender, vpage, receiver)
+        f0 = kernel.machine.counters.total_flushes("dcache")
+        p0 = kernel.machine.counters.total_purges("dcache")
+        assert receiver.read(dst, 0) == 1
+        assert kernel.machine.counters.total_flushes("dcache") == f0
+        assert kernel.machine.counters.total_purges("dcache") == p0
+
+    def test_first_fit_policy_usually_unaligned_and_flushes(self):
+        kernel = make_kernel(CONFIG_B)
+        ncp = kernel.machine.dcache.geo.num_cache_pages
+        sender = kernel.create_task("s")
+        receiver = kernel.create_task("r")
+        # Skew the receiver's first-fit cursor off the sender's color.
+        receiver.allocate_anon(1)
+        receiver.allocate_anon(1)
+        vpage = sender.allocate_anon(1)
+        sender.write(vpage, 0, 1)
+        dst = transfer_page(kernel, sender, vpage, receiver)
+        if dst % ncp != vpage % ncp:      # generically true with first-fit
+            f0 = kernel.machine.counters.total_flushes("dcache")
+            assert receiver.read(dst, 0) == 1
+            assert kernel.machine.counters.total_flushes("dcache") == f0 + 1

@@ -1,0 +1,148 @@
+"""Tests for the pageout daemon and swapping under memory pressure."""
+
+import pytest
+
+from repro.hw.params import MachineConfig
+from repro.kernel.kernel import Kernel
+from repro.kernel.pageout import SWAP_FILE_ID
+from repro.kernel.process import UserProcess
+from repro.vm.policy import CONFIG_A, CONFIG_F
+
+
+def tight_kernel(policy=CONFIG_F, phys_pages=48):
+    return Kernel(policy=policy, config=MachineConfig(phys_pages=phys_pages),
+                  buffer_cache_pages=8)
+
+
+class TestSwapMechanics:
+    def test_explicit_reclaim_frees_frames(self):
+        kernel = tight_kernel()
+        proc = UserProcess(kernel, "p")
+        vpage = proc.task.allocate_anon(6)
+        for i in range(6):
+            proc.task.write(vpage + i, 0, 100 + i)
+        free_before = len(kernel.free_list)
+        freed = kernel.pageout.reclaim(3)
+        assert freed == 3
+        assert len(kernel.free_list) == free_before + 3
+        assert kernel.pageout.pages_swapped_out == 3
+
+    def test_swapped_data_survives_the_round_trip(self):
+        kernel = tight_kernel()
+        proc = UserProcess(kernel, "p")
+        vpage = proc.task.allocate_anon(6)
+        for i in range(6):
+            proc.task.write(vpage + i, 3, 200 + i)
+        kernel.pageout.reclaim(6)
+        assert kernel.pageout.pages_swapped_out == 6
+        # Touching the pages swaps them back in with the right contents
+        # (and the oracle cross-checks every word transferred).
+        for i in range(6):
+            assert proc.task.read(vpage + i, 3) == 200 + i
+        assert kernel.pageout.pages_swapped_in == 6
+
+    def test_swap_out_flushes_dirty_cache_data(self):
+        # The page's latest version exists only in the cache; the swap
+        # write is a DMA-read and must see it (Section 2.4).
+        kernel = tight_kernel()
+        proc = UserProcess(kernel, "p")
+        vpage = proc.task.allocate_anon(1)
+        proc.task.write(vpage, 0, 0xFEED)
+        kernel.pageout.reclaim(1)
+        slot_blocks = [kernel.disk.block(SWAP_FILE_ID, s)
+                       for s in range(kernel.pageout.pages_swapped_out)]
+        assert any(int(block[0]) == 0xFEED for block in slot_blocks)
+
+    def test_mappings_are_broken_at_eviction(self):
+        from repro.hw.stats import FaultKind
+        kernel = tight_kernel()
+        proc = UserProcess(kernel, "p")
+        vpage = proc.task.allocate_anon(1)
+        proc.task.write(vpage, 0, 1)
+        kernel.pageout.reclaim(1)
+        assert vpage not in kernel.pmap.page_table(proc.task.asid)
+        faults_before = kernel.machine.counters.faults[FaultKind.MAPPING]
+        proc.task.read(vpage, 0)   # page-in is a mapping fault
+        assert (kernel.machine.counters.faults[FaultKind.MAPPING]
+                > faults_before)
+
+
+class TestMemoryPressure:
+    def test_daemon_keeps_the_system_running_past_physical_memory(self):
+        kernel = tight_kernel(phys_pages=40)
+        proc = UserProcess(kernel, "p")
+        # Touch more anonymous pages than the machine has frames; syscall
+        # boundaries give the daemon a chance to reclaim.
+        vpages = []
+        for batch in range(10):
+            vpage = proc.task.allocate_anon(4)
+            for i in range(4):
+                proc.task.write(vpage + i, 0, batch * 16 + i)
+            vpages.append(vpage)
+            proc.stat_target = None
+            proc.create(f"/tick{batch}")   # op boundary: reclaim happens
+        assert kernel.pageout.pages_swapped_out > 0
+        # Every page still reads back correctly (some from swap).
+        for batch, vpage in enumerate(vpages):
+            for i in range(4):
+                assert proc.task.read(vpage + i, 0) == batch * 16 + i
+        assert kernel.machine.oracle.clean
+
+    @pytest.mark.parametrize("policy", [CONFIG_A, CONFIG_F],
+                             ids=["eager", "lazy"])
+    def test_swapping_consistent_under_both_policies(self, policy):
+        kernel = tight_kernel(policy=policy)
+        proc = UserProcess(kernel, "p")
+        vpage = proc.task.allocate_anon(8)
+        for i in range(8):
+            proc.task.write(vpage + i, 0, i)
+        kernel.pageout.reclaim(8)
+        for i in range(8):
+            assert proc.task.read(vpage + i, 0) == i
+        assert kernel.machine.oracle.clean
+
+    def test_cow_pages_swap_and_return_shared(self):
+        from repro.kernel.task import fork_task
+        kernel = tight_kernel()
+        parent = UserProcess(kernel, "parent")
+        vpage = parent.task.allocate_anon(1)
+        parent.task.write(vpage, 0, 77)
+        child_task = fork_task(kernel, parent.task)
+        kernel.pageout.reclaim(1)
+        assert kernel.pageout.pages_swapped_out >= 1
+        # Both sides still see the shared value after page-in...
+        assert parent.task.read(vpage, 0) == 77
+        assert child_task.read(vpage, 0) == 77
+        # ...and COW still isolates writes.
+        child_task.write(vpage, 0, 78)
+        assert parent.task.read(vpage, 0) == 77
+
+    def test_cow_write_to_swapped_page_preserves_contents(self):
+        # Regression: a swapped-out COW page must be brought back and
+        # copied, not silently replaced with a zero page.
+        from repro.kernel.task import fork_task
+        kernel = tight_kernel()
+        parent = UserProcess(kernel, "parent")
+        vpage = parent.task.allocate_anon(1)
+        parent.task.write(vpage, 5, 0xCAFE)
+        child_task = fork_task(kernel, parent.task)
+        kernel.pageout.reclaim(1)               # page lives only in swap now
+        child_task.write(vpage, 0, 1)           # COW write before any read
+        assert child_task.read(vpage, 5) == 0xCAFE   # old words preserved
+        assert parent.task.read(vpage, 5) == 0xCAFE
+
+    def test_dead_objects_are_skipped(self):
+        kernel = tight_kernel()
+        proc = UserProcess(kernel, "p")
+        vpage = proc.task.allocate_anon(2)
+        proc.task.write(vpage, 0, 1)
+        proc.task.write(vpage + 1, 0, 2)
+        proc.task.unmap(vpage, 2)           # object dies, frames freed
+        assert kernel.pageout.reclaim(2) == 0
+
+    def test_workload_survives_tight_memory(self):
+        from repro.workloads.kernel_build import KernelBuild
+        kernel = tight_kernel(phys_pages=96)
+        KernelBuild(scale=0.2).run(kernel)
+        kernel.shutdown()
+        assert kernel.machine.oracle.clean

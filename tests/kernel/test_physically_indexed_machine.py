@@ -1,0 +1,92 @@
+"""System-level tests on a physically indexed machine (Section 3.3).
+
+With physical indexing every alias selects the same cache location, so
+the alias machinery idles: no consistency faults from sharing, no
+alias flushes — only the DMA and data→instruction obligations remain.
+The same kernel, policies and workloads run unchanged.
+"""
+
+import pytest
+
+from repro.hw.params import CacheGeometry, MachineConfig
+from repro.hw.stats import FaultKind, Reason
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import UserProcess
+from repro.prot import Prot
+from repro.vm.policy import CONFIG_A, CONFIG_B, CONFIG_F
+from repro.vm.vm_object import VMObject
+
+
+def pi_machine(phys_pages=256):
+    return MachineConfig(
+        dcache=CacheGeometry(size=256 * 1024, physically_indexed=True),
+        icache=CacheGeometry(size=128 * 1024, physically_indexed=True),
+        phys_pages=phys_pages)
+
+
+def make_kernel(policy=CONFIG_F):
+    return Kernel(policy=policy, config=pi_machine())
+
+
+class TestAliasesAlwaysAlign:
+    def test_unaligned_virtual_addresses_share_one_line(self):
+        kernel = make_kernel()
+        proc = UserProcess(kernel, "p")
+        obj = VMObject(1)
+        va1 = proc.task.map_shared(obj, Prot.READ_WRITE, color=1)
+        va2 = proc.task.map_shared(obj, Prot.READ_WRITE, color=2)
+        proc.task.write(va1, 0, 1)
+        proc.task.read(va2, 0)
+        proc.task.write(va1, 0, 2)
+        before = kernel.machine.counters.faults[FaultKind.CONSISTENCY]
+        f0 = kernel.machine.counters.total_flushes("dcache")
+        for i in range(50):
+            proc.task.write(va1, 0, i)
+            assert proc.task.read(va2, 0) == i
+        assert kernel.machine.counters.faults[FaultKind.CONSISTENCY] == before
+        assert kernel.machine.counters.total_flushes("dcache") == f0
+
+    def test_even_the_lazy_unaligned_policy_pays_nothing(self):
+        # Configuration B has no alignment machinery, yet on physically
+        # indexed hardware there is nothing to align.
+        from repro.workloads.afs_bench import AfsBench
+        kernel = Kernel(policy=CONFIG_B, config=pi_machine())
+        AfsBench(scale=0.25).run(kernel)
+        kernel.shutdown()
+        assert kernel.machine.oracle.clean
+        # alias-driven flushes are absent; what remains is DMA + d->i
+        counters = kernel.machine.counters
+        alias_flushes = (counters.total_flushes("dcache", Reason.ALIAS_READ)
+                         + counters.total_flushes("dcache",
+                                                  Reason.ALIAS_WRITE))
+        assert alias_flushes == 0
+
+
+class TestRemainingObligations:
+    def test_dma_still_needs_the_flush(self):
+        kernel = make_kernel()
+        proc = UserProcess(kernel, "p")
+        vpage = proc.task.allocate_anon(1)
+        proc.task.write(vpage, 0, 0xABCD)
+        frame = kernel.pmap.page_table(proc.task.asid).lookup(vpage).ppage
+        kernel.disk.write_block(3, 0, frame)
+        assert kernel.disk.block(3, 0)[0] == 0xABCD
+        assert kernel.machine.counters.total_flushes(
+            "dcache", Reason.DMA_READ) == 1
+
+    def test_text_loading_still_copies_and_flushes(self):
+        kernel = make_kernel()
+        program = kernel.exec_loader.register_program("prog", 2, 1)
+        proc = UserProcess(kernel, "p")
+        child = proc.spawn(program)
+        assert kernel.machine.counters.d_to_i_copies == 2
+        child.exit()
+        proc.exit()
+
+    def test_workloads_clean_under_old_and_new(self):
+        from repro.workloads.latex_bench import LatexBench
+        for policy in (CONFIG_A, CONFIG_B, CONFIG_F):
+            kernel = Kernel(policy=policy, config=pi_machine())
+            LatexBench(scale=0.25).run(kernel)
+            kernel.shutdown()
+            assert kernel.machine.oracle.clean

@@ -1,0 +1,67 @@
+"""Tests for genuine protection violations (not consistency traps)."""
+
+import pytest
+
+from repro.errors import ProtectionError
+from repro.hw.params import MachineConfig
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import UserProcess
+from repro.prot import Prot
+from repro.vm.policy import CONFIG_F
+from repro.vm.vm_object import VMObject
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(policy=CONFIG_F, config=MachineConfig(phys_pages=128))
+
+
+class TestRealViolations:
+    def test_write_to_read_only_shared_page(self, kernel):
+        proc = UserProcess(kernel, "p")
+        writer = UserProcess(kernel, "writer")
+        obj = VMObject(1)
+        w_vpage = writer.task.map_shared(obj, Prot.READ_WRITE)
+        writer.task.write(w_vpage, 0, 1)          # materialize the frame
+        r_vpage = proc.task.map_shared(obj, Prot.READ)
+        assert proc.task.read(r_vpage, 0) == 1
+        with pytest.raises(ProtectionError):
+            proc.task.write(r_vpage, 0, 2)
+
+    def test_segfault_outside_any_mapping(self, kernel):
+        proc = UserProcess(kernel, "p")
+        with pytest.raises(ProtectionError, match="segmentation fault"):
+            proc.task.read(4000)
+
+    def test_execute_of_data_page_rejected(self, kernel):
+        proc = UserProcess(kernel, "p")
+        vpage = proc.task.allocate_anon(1)
+        proc.task.write(vpage, 0, 1)
+        with pytest.raises(ProtectionError):
+            proc.task.ifetch(vpage)
+
+    def test_write_to_program_text_rejected(self, kernel):
+        program = kernel.exec_loader.register_program("prog", 1, 1)
+        proc = UserProcess(kernel, "p")
+        text, _ = kernel.exec_loader.exec_into(proc.task, program)
+        proc.task.ifetch(text)                    # fault the text in
+        with pytest.raises(ProtectionError):
+            proc.task.write(text, 0, 0xBAD)
+
+    def test_access_after_unmap_segfaults(self, kernel):
+        proc = UserProcess(kernel, "p")
+        vpage = proc.task.allocate_anon(1)
+        proc.task.write(vpage, 0, 1)
+        proc.task.unmap(vpage)
+        with pytest.raises(ProtectionError):
+            proc.task.read(vpage, 0)
+
+    def test_violation_does_not_corrupt_the_system(self, kernel):
+        # After a caught violation, the system keeps running consistently.
+        proc = UserProcess(kernel, "p")
+        with pytest.raises(ProtectionError):
+            proc.task.read(4000)
+        vpage = proc.task.allocate_anon(1)
+        proc.task.write(vpage, 0, 5)
+        assert proc.task.read(vpage, 0) == 5
+        assert kernel.machine.oracle.clean

@@ -1,0 +1,129 @@
+"""Tests for tasks: anonymous memory, fork, copy-on-write."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.hw.params import MachineConfig
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import fork_task
+from repro.prot import Prot
+from repro.vm.policy import CONFIG_A, CONFIG_F
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(policy=CONFIG_F, config=MachineConfig(phys_pages=128),
+                  with_unix_server=False)
+
+
+class TestAnonymousMemory:
+    def test_lazy_zero_fill(self, kernel):
+        task = kernel.create_task("t")
+        vpage = task.allocate_anon(2)
+        assert task.read(vpage, 0) == 0          # first touch faults + zeros
+        assert task.read(vpage + 1, 100) == 0
+
+    def test_write_then_read(self, kernel):
+        task = kernel.create_task("t")
+        vpage = task.allocate_anon(1)
+        task.write(vpage, 3, 77)
+        assert task.read(vpage, 3) == 77
+
+    def test_unmap_releases_frames(self, kernel):
+        task = kernel.create_task("t")
+        free_before = len(kernel.free_list)
+        vpage = task.allocate_anon(1)
+        task.write(vpage, 0, 1)
+        task.unmap(vpage)
+        assert len(kernel.free_list) == free_before
+
+
+class TestFork:
+    def test_child_sees_parent_data(self, kernel):
+        parent = kernel.create_task("p")
+        vpage = parent.allocate_anon(1)
+        parent.write(vpage, 0, 42)
+        child = fork_task(kernel, parent)
+        assert child.read(vpage, 0) == 42
+
+    def test_cow_isolates_child_writes(self, kernel):
+        parent = kernel.create_task("p")
+        vpage = parent.allocate_anon(1)
+        parent.write(vpage, 0, 42)
+        child = fork_task(kernel, parent)
+        child.write(vpage, 0, 43)
+        assert parent.read(vpage, 0) == 42
+        assert child.read(vpage, 0) == 43
+
+    def test_cow_isolates_parent_writes(self, kernel):
+        parent = kernel.create_task("p")
+        vpage = parent.allocate_anon(1)
+        parent.write(vpage, 0, 42)
+        child = fork_task(kernel, parent)
+        parent.write(vpage, 0, 99)
+        assert child.read(vpage, 0) == 42
+        assert parent.read(vpage, 0) == 99
+
+    def test_cow_counts_as_mapping_fault(self, kernel):
+        from repro.hw.stats import FaultKind
+        parent = kernel.create_task("p")
+        vpage = parent.allocate_anon(1)
+        parent.write(vpage, 0, 42)
+        child = fork_task(kernel, parent)
+        before = kernel.machine.counters.faults[FaultKind.MAPPING]
+        child.write(vpage, 0, 43)
+        assert kernel.machine.counters.faults[FaultKind.MAPPING] > before
+
+    def test_untouched_cow_page_resolves_to_zero_page(self, kernel):
+        parent = kernel.create_task("p")
+        vpage = parent.allocate_anon(1)   # never touched by the parent
+        child = fork_task(kernel, parent)
+        child.write(vpage, 0, 5)
+        assert child.read(vpage, 0) == 5
+        assert parent.read(vpage, 0) == 0
+
+    def test_cow_under_eager_policy(self):
+        kernel = Kernel(policy=CONFIG_A,
+                        config=MachineConfig(phys_pages=128),
+                        with_unix_server=False)
+        parent = kernel.create_task("p")
+        vpage = parent.allocate_anon(1)
+        parent.write(vpage, 0, 42)
+        child = fork_task(kernel, parent)
+        child.write(vpage, 0, 43)
+        assert parent.read(vpage, 0) == 42
+        assert child.read(vpage, 0) == 43
+
+
+class TestTaskLifecycle:
+    def test_destroy_returns_all_frames(self, kernel):
+        free_before = len(kernel.free_list)
+        task = kernel.create_task("t")
+        vpage = task.allocate_anon(4)
+        for i in range(4):
+            task.write(vpage + i, 0, i)
+        kernel.destroy_task(task)
+        assert len(kernel.free_list) == free_before
+        assert not task.alive
+
+    def test_destroy_after_fork_keeps_shared_frames(self, kernel):
+        parent = kernel.create_task("p")
+        vpage = parent.allocate_anon(1)
+        parent.write(vpage, 0, 42)
+        child = fork_task(kernel, parent)
+        kernel.destroy_task(parent)
+        assert child.read(vpage, 0) == 42
+
+    def test_fixed_mapping_collision_rejected(self, kernel):
+        from repro.vm.vm_object import VMObject
+        task = kernel.create_task("t")
+        obj = VMObject(1)
+        task.map_shared(obj, Prot.READ_WRITE, fixed_vpage=100)
+        with pytest.raises(KernelError):
+            task.map_shared(VMObject(1), Prot.READ_WRITE, fixed_vpage=100)
+
+    def test_segfault_on_unmapped_access(self, kernel):
+        from repro.errors import ProtectionError
+        task = kernel.create_task("t")
+        with pytest.raises(ProtectionError):
+            task.read(5000)

@@ -1,0 +1,77 @@
+"""Property: the buffer cache's write-behind never loses or reorders
+data — after a sync, the platter holds exactly the last version written
+to every block, for any interleaving of reads, writes and ticks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.params import MachineConfig
+from repro.kernel.kernel import Kernel
+from repro.vm.policy import CONFIG_F
+
+N_BLOCKS = 4
+
+# (action, block, payload-seed)
+ops = st.lists(
+    st.tuples(st.sampled_from(["write", "read", "tick"]),
+              st.integers(0, N_BLOCKS - 1),
+              st.integers(0, 2**30)),
+    min_size=1, max_size=40)
+
+
+def fresh_kernel():
+    return Kernel(policy=CONFIG_F, config=MachineConfig(phys_pages=128),
+                  buffer_cache_pages=3,     # smaller than N_BLOCKS: evictions
+                  with_unix_server=False)
+
+
+class TestWriteBehindProperty:
+    @given(ops)
+    @settings(max_examples=60, deadline=None)
+    def test_platter_holds_last_writes_after_sync(self, actions):
+        kernel = fresh_kernel()
+        file_id = 9
+        kernel.disk.preload(file_id, N_BLOCKS)
+        last_written = {}
+        scratch = kernel.allocate_frame()
+        for action, block, seed in actions:
+            if action == "write":
+                values = np.full(1024, seed, dtype=np.uint64)
+                kernel.pmap.prepare_dma_write(scratch)
+                kernel.machine.dma.dma_write(scratch, values)
+                kernel.buffer_cache.write_block_from_frame(file_id, block,
+                                                           scratch)
+                last_written[block] = values
+            elif action == "read":
+                kernel.buffer_cache.read_block(file_id, block)
+            else:
+                kernel.buffer_cache.tick()
+        kernel.buffer_cache.sync()
+        for block, values in last_written.items():
+            assert np.array_equal(kernel.disk.block(file_id, block), values)
+        assert kernel.machine.oracle.clean
+
+    @given(ops)
+    @settings(max_examples=30, deadline=None)
+    def test_reads_always_return_the_latest_version(self, actions):
+        kernel = fresh_kernel()
+        file_id = 9
+        kernel.disk.preload(file_id, N_BLOCKS)
+        last = {}
+        scratch = kernel.allocate_frame()
+        for action, block, seed in actions:
+            if action == "write":
+                values = np.full(1024, seed, dtype=np.uint64)
+                kernel.pmap.prepare_dma_write(scratch)
+                kernel.machine.dma.dma_write(scratch, values)
+                kernel.buffer_cache.write_block_from_frame(file_id, block,
+                                                           scratch)
+                last[block] = int(values[0])
+            else:
+                frame = kernel.buffer_cache.read_block(file_id, block)
+                got = kernel.pmap.read_frame(frame)
+                if block in last:
+                    assert int(got[0]) == last[block]
+                kernel.buffer_cache.tick()

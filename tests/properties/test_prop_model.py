@@ -1,0 +1,152 @@
+"""Property-based tests of the consistency model and its refinements."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache_control import CacheControl
+from repro.core.model import ConsistencyModel
+from repro.core.page_state import PhysPageState
+from repro.core.states import Action, LineState, MemoryOp
+from repro.core.variants import WriteThroughModel
+
+NCP = 4
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from([MemoryOp.CPU_READ, MemoryOp.CPU_WRITE,
+                         MemoryOp.DMA_READ, MemoryOp.DMA_WRITE]),
+        st.integers(min_value=0, max_value=NCP - 1)),
+    min_size=1, max_size=40)
+
+
+class TestModelInvariants:
+    @given(operations)
+    @settings(max_examples=200)
+    def test_at_most_one_dirty_cache_page(self, ops):
+        model = ConsistencyModel(NCP)
+        for op, target in ops:
+            model.apply(op, target if not op.is_dma else None)
+            model.validate()
+
+    @given(operations)
+    @settings(max_examples=200)
+    def test_flush_only_demanded_for_dirty_pages(self, ops):
+        model = ConsistencyModel(NCP)
+        for op, target in ops:
+            before = list(model.states)
+            actions = model.apply(op, target if not op.is_dma else None)
+            for action in actions:
+                if action.action is Action.FLUSH:
+                    assert before[action.cache_page] is LineState.DIRTY
+
+    @given(operations)
+    @settings(max_examples=200)
+    def test_cpu_target_never_left_stale(self, ops):
+        # After a CPU operation completes, the accessed cache page holds
+        # usable data: Present after a read, Dirty after a write.
+        model = ConsistencyModel(NCP)
+        for op, target in ops:
+            model.apply(op, target if not op.is_dma else None)
+            if op is MemoryOp.CPU_READ:
+                assert model.state(target) is LineState.PRESENT or \
+                    model.state(target) is LineState.DIRTY
+            elif op is MemoryOp.CPU_WRITE:
+                assert model.state(target) is LineState.DIRTY
+
+    @given(operations)
+    @settings(max_examples=200)
+    def test_no_dirty_survives_dma_write(self, ops):
+        model = ConsistencyModel(NCP)
+        for op, target in ops:
+            model.apply(op, target if not op.is_dma else None)
+        model.apply(MemoryOp.DMA_WRITE)
+        assert model.dirty_cache_pages() == []
+
+    @given(operations)
+    @settings(max_examples=200)
+    def test_write_through_never_dirty_never_flushes(self, ops):
+        model = WriteThroughModel(NCP)
+        for op, target in ops:
+            actions = model.apply(op, target if not op.is_dma else None)
+            assert LineState.DIRTY not in model.states
+            assert all(a.action is not Action.FLUSH for a in actions)
+
+
+class _Collector:
+    def __init__(self):
+        self.performed: list[tuple[Action, int]] = []
+
+    def flush(self, cache_page, ppage, reason):
+        self.performed.append((Action.FLUSH, cache_page))
+
+    def purge(self, cache_page, ppage, reason):
+        self.performed.append((Action.PURGE, cache_page))
+
+    def protect(self, mapping, prot):
+        pass
+
+
+class TestAlgorithmRefinesModel:
+    """The page-level Figure 1 algorithm vs the line-level Table 2 model.
+
+    The algorithm may be pessimistic (extra purges on pages the model
+    knows are empty) but must perform every action the model requires —
+    with plain semantics (need_data=True, will_overwrite=False).
+    """
+
+    @given(operations)
+    @settings(max_examples=200)
+    def test_engine_performs_a_superset_of_required_actions(self, ops):
+        model = ConsistencyModel(NCP)
+        state = PhysPageState(0, NCP)
+        collector = _Collector()
+        engine = CacheControl(collector.flush, collector.purge,
+                              collector.protect)
+        for op, target in ops:
+            required = model.apply(op, target if not op.is_dma else None)
+            collector.performed.clear()
+            # Mirror the pmap's invocation: a DMA-write never needs the old
+            # dirty data (memory is about to be overwritten).
+            engine(state, op, target if op.is_cpu else None,
+                   need_data=(op is not MemoryOp.DMA_WRITE))
+            performed = set(collector.performed)
+            for action in required:
+                satisfied = (action.action, action.cache_page) in performed
+                if action.action is Action.PURGE:
+                    # A flush removes the line too (purge + write-back),
+                    # so it satisfies a purge requirement.
+                    satisfied = satisfied or (
+                        (Action.FLUSH, action.cache_page) in performed)
+                assert satisfied, (
+                    f"model requires {action} for {op} @ {target}, engine "
+                    f"performed only {performed}")
+
+    @given(operations)
+    @settings(max_examples=200)
+    def test_engine_state_invariants(self, ops):
+        state = PhysPageState(0, NCP)
+        collector = _Collector()
+        engine = CacheControl(collector.flush, collector.purge,
+                              collector.protect)
+        for op, target in ops:
+            engine(state, op, target if op.is_cpu else None)
+            state.validate()
+
+    @given(operations)
+    @settings(max_examples=200)
+    def test_engine_dirty_agrees_with_model_dirty(self, ops):
+        # Dirty tracking is exact (not pessimistic): the engine's
+        # cache_dirty page equals the model's unique dirty page.
+        model = ConsistencyModel(NCP)
+        state = PhysPageState(0, NCP)
+        collector = _Collector()
+        engine = CacheControl(collector.flush, collector.purge,
+                              collector.protect)
+        for op, target in ops:
+            model.apply(op, target if not op.is_dma else None)
+            engine(state, op, target if op.is_cpu else None)
+            model_dirty = model.dirty_cache_pages()
+            if state.cache_dirty:
+                assert model_dirty == [state.find_mapped_cache_page()]
+            else:
+                assert model_dirty == []

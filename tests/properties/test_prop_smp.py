@@ -1,0 +1,82 @@
+"""Property-based tests for the coherent-cluster extension."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.params import CacheGeometry, CostModel
+from repro.hw.physmem import PhysicalMemory
+from repro.hw.smp import CoherentCluster
+from repro.hw.stats import Clock, Counters
+
+PAGE = 4096
+
+
+def make_cluster(n_cpus):
+    geo = CacheGeometry(size=8 * 1024)
+    mem = PhysicalMemory(8, PAGE)
+    return CoherentCluster(n_cpus, geo, mem, CostModel(), Clock(),
+                           Counters()), geo
+
+
+aligned_ops = st.lists(
+    st.tuples(st.integers(0, 2),        # cpu
+              st.integers(0, 127),      # word within the first page
+              st.integers(0, 2),        # which aligned window
+              st.integers(0, 2**30),    # value
+              st.booleans()),           # write?
+    min_size=1, max_size=60)
+
+
+class TestCoherentClusterProperties:
+    @given(aligned_ops)
+    @settings(max_examples=150)
+    def test_aligned_sharing_matches_flat_reference(self, ops):
+        cluster, geo = make_cluster(3)
+        reference = {}
+        for cpu, word, window, value, is_write in ops:
+            paddr = word * 4
+            vaddr = paddr + window * geo.way_span
+            if is_write:
+                cluster.write(cpu, vaddr, paddr, value)
+                reference[paddr] = value
+            else:
+                assert cluster.read(cpu, vaddr, paddr) \
+                    == reference.get(paddr, 0)
+
+    @given(aligned_ops)
+    @settings(max_examples=150)
+    def test_single_dirty_copy_per_equivalent_line(self, ops):
+        # The hardware invariant Section 3.3 relies on: the physical tags
+        # within the distributed set are unique, dirty in at most one.
+        cluster, geo = make_cluster(3)
+        touched = set()
+        for cpu, word, window, value, is_write in ops:
+            paddr = word * 4
+            vaddr = paddr + window * geo.way_span
+            if is_write:
+                cluster.write(cpu, vaddr, paddr, value)
+            else:
+                cluster.read(cpu, vaddr, paddr)
+            set_idx = geo.set_index(vaddr)
+            tag = paddr // geo.line_size
+            touched.add((set_idx, tag))
+            for s, t in touched:
+                assert cluster.dirty_copies(s, t) <= 1
+
+    @given(aligned_ops)
+    @settings(max_examples=60)
+    def test_cluster_flush_syncs_memory(self, ops):
+        cluster, geo = make_cluster(3)
+        reference = {}
+        for cpu, word, window, value, is_write in ops:
+            paddr = word * 4
+            vaddr = paddr + window * geo.way_span
+            if is_write:
+                cluster.write(cpu, vaddr, paddr, value)
+                reference[paddr] = value
+            else:
+                cluster.read(cpu, vaddr, paddr)
+        cluster.flush_page_frame(0, 0, None)
+        for paddr, value in reference.items():
+            assert cluster.memory.read_word(paddr) == value

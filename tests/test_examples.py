@@ -1,0 +1,66 @@
+"""The examples must keep running: each is executed in-process.
+
+(The slow full-evaluation example runs at a reduced scale.)
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "oracle:" in out and "0 stale" in out
+
+    def test_shared_memory_aliases(self, capsys):
+        run_example("shared_memory_aliases.py")
+        out = capsys.readouterr().out
+        assert "aligned" in out and "unaligned" in out
+
+    def test_dma_io(self, capsys):
+        run_example("dma_io.py")
+        out = capsys.readouterr().out
+        assert "oracle caught it" in out
+
+    def test_other_architectures(self, capsys):
+        run_example("other_architectures.py")
+        out = capsys.readouterr().out
+        assert "STALE!" in out
+        assert "write-through" in out
+
+    def test_extensions_tour(self, capsys):
+        run_example("extensions_tour.py")
+        out = capsys.readouterr().out
+        assert "0 consistency faults" in out       # global AS
+        assert "swapped out" in out                # pageout
+        assert "flush + purge: 8" in out           # SMP demo
+
+    def test_trace_tour(self, capsys):
+        run_example("trace_tour.py")
+        out = capsys.readouterr().out
+        assert "configuration B" in out
+        assert "configuration F" in out
+        assert "flush" in out
+
+    def test_policy_comparison_small_scale(self, capsys):
+        run_example("policy_comparison.py", argv=["0.2"])
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 4" in out
+        assert "Table 5" in out
+        assert "slowdown" in out

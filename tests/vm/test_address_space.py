@@ -1,0 +1,111 @@
+"""Tests for address spaces and the two VA-selection strategies."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.prot import Prot
+from repro.vm.address_space import AddressSpace, PageDescriptor, PageKind
+from repro.vm.vm_object import Backing, VMObject
+
+NCP = 8
+
+
+def make_space():
+    return AddressSpace(asid=1, num_cache_pages=NCP, first_vpage=16)
+
+
+def descriptor():
+    return PageDescriptor(PageKind.ANON, VMObject(1, Backing.ZERO_FILL), 0,
+                          Prot.READ_WRITE)
+
+
+class TestFirstFit:
+    def test_sequential_allocation(self):
+        space = make_space()
+        a = space.allocate_vpages()
+        space.map_page(a, descriptor())
+        b = space.allocate_vpages()
+        assert b == a + 1
+
+    def test_freed_addresses_are_reused(self):
+        # Mach's anywhere-allocation reuses the lowest free range — the
+        # source of natural alignment on reuse.
+        space = make_space()
+        a = space.allocate_vpages()
+        space.map_page(a, descriptor())
+        space.unmap_page(a)
+        assert space.allocate_vpages() == a
+
+    def test_multi_page_ranges_are_contiguous(self):
+        space = make_space()
+        a = space.allocate_vpages(3)
+        for i in range(3):
+            space.map_page(a + i, descriptor())
+        b = space.allocate_vpages(2)
+        assert b == a + 3
+
+    def test_range_skips_partial_holes(self):
+        space = make_space()
+        a = space.allocate_vpages(1)
+        space.map_page(a + 1, descriptor())   # poke a hole blocker
+        got = space.allocate_vpages(2)
+        assert got == a + 2
+
+
+class TestColoredAllocation:
+    def test_color_selects_cache_page(self):
+        space = make_space()
+        for color in range(NCP):
+            vpage = space.allocate_vpages(color=color)
+            assert vpage % NCP == color
+            space.map_page(vpage, descriptor())
+
+    def test_colored_collision_steps_by_ncp(self):
+        space = make_space()
+        first = space.allocate_vpages(color=3)
+        space.map_page(first, descriptor())
+        second = space.allocate_vpages(color=3)
+        assert second == first + NCP
+
+    def test_exhaustion_raises(self):
+        space = AddressSpace(1, NCP, first_vpage=0, max_vpage=4)
+        for _ in range(4):
+            space.map_page(space.allocate_vpages(), descriptor())
+        with pytest.raises(KernelError):
+            space.allocate_vpages()
+
+
+class TestMappingBookkeeping:
+    def test_map_unmap_refcounts_object(self):
+        space = make_space()
+        desc = descriptor()
+        vpage = space.allocate_vpages()
+        space.map_page(vpage, desc)
+        assert desc.vm_object.ref_count == 1
+        space.unmap_page(vpage)
+        assert desc.vm_object.ref_count == 0
+
+    def test_double_map_rejected(self):
+        space = make_space()
+        vpage = space.allocate_vpages()
+        space.map_page(vpage, descriptor())
+        with pytest.raises(KernelError):
+            space.map_page(vpage, descriptor())
+
+    def test_unmap_missing_rejected(self):
+        with pytest.raises(KernelError):
+            make_space().unmap_page(99)
+
+    def test_mapped_vpages_sorted(self):
+        space = make_space()
+        for vpage in (30, 20, 25):
+            space.map_page(vpage, descriptor())
+        assert space.mapped_vpages() == [20, 25, 30]
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(KernelError):
+            make_space().allocate_vpages(0)
+
+    def test_cache_page_of(self):
+        space = make_space()
+        assert space.cache_page_of(NCP + 3) == 3

@@ -1,0 +1,129 @@
+"""Tests for Sun-style uncached alias handling (Section 6).
+
+With ``uncached_aliases`` enabled, an unaligned alias set stops being
+cached: all mappings bypass the cache, so consistency needs no faults or
+flush/purge traffic at all — at the price of slow memory-speed accesses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.machine import Machine
+from repro.hw.params import small_machine
+from repro.hw.stats import FaultKind
+from repro.prot import AccessKind, Prot
+from repro.vm.pmap import Pmap
+from repro.vm.policy import SYSTEM_SUN, CONFIG_F
+
+PAGE = 4096
+
+
+class Rig:
+    def __init__(self, policy=SYSTEM_SUN):
+        self.machine = Machine(small_machine())
+        self.pmap = Pmap(self.machine, policy)
+        self.machine.fault_handler = self._handle
+        self.consistency_faults = 0
+
+    def _handle(self, info):
+        self.consistency_faults += 1
+        self.pmap.consistency_fault(info.asid, info.vaddr // PAGE,
+                                    info.access)
+
+    def enter(self, asid, vpage, ppage, access=AccessKind.READ):
+        return self.pmap.enter(asid, vpage, ppage, Prot.READ_WRITE, access)
+
+
+class TestConversion:
+    def test_single_mapping_stays_cached(self):
+        rig = Rig()
+        pte = rig.enter(1, 10, 3, AccessKind.WRITE)
+        assert not pte.uncached
+        assert not rig.pmap.state_of(3).uncached
+
+    def test_aligned_alias_stays_cached(self):
+        rig = Rig()
+        rig.enter(1, 10, 3, AccessKind.WRITE)
+        pte = rig.enter(2, 14, 3, AccessKind.READ)   # aligns with 10
+        assert not pte.uncached
+
+    def test_unaligned_alias_converts_all_mappings(self):
+        rig = Rig()
+        first = rig.enter(1, 10, 3, AccessKind.WRITE)
+        second = rig.enter(2, 11, 3, AccessKind.READ)
+        assert first.uncached and second.uncached
+        assert rig.pmap.state_of(3).uncached
+        assert rig.machine.counters.pages_made_uncached == 1
+
+    def test_conversion_flushes_dirty_data_first(self):
+        rig = Rig()
+        rig.enter(1, 10, 3, AccessKind.WRITE)
+        rig.machine.write(1, 10 * PAGE, 42)          # dirty in cache
+        rig.enter(2, 11, 3, AccessKind.READ)         # triggers conversion
+        # the dirty value reached memory; uncached reads see it
+        assert rig.machine.memory.read_word(3 * PAGE) == 42
+        assert rig.machine.read(2, 11 * PAGE) == 42
+
+
+class TestUncachedBehaviour:
+    def test_ping_pong_without_any_faults(self):
+        rig = Rig()
+        rig.enter(1, 10, 3, AccessKind.WRITE)
+        rig.enter(2, 11, 3, AccessKind.WRITE)        # now uncached
+        f0 = rig.machine.counters.total_flushes("dcache")
+        for i in range(20):
+            rig.machine.write(1, 10 * PAGE, i)
+            assert rig.machine.read(2, 11 * PAGE) == i
+            rig.machine.write(2, 11 * PAGE, i + 100)
+            assert rig.machine.read(1, 10 * PAGE) == i + 100
+        assert rig.consistency_faults == 0
+        assert rig.machine.counters.total_flushes("dcache") == f0
+
+    def test_uncached_page_ops(self):
+        rig = Rig()
+        rig.enter(1, 10, 3, AccessKind.WRITE)
+        rig.enter(2, 11, 3, AccessKind.WRITE)
+        values = np.arange(1024, dtype=np.uint64)
+        rig.machine.write_page(1, 10 * PAGE, values)
+        assert np.array_equal(rig.machine.read_page(2, 11 * PAGE), values)
+
+    def test_dma_needs_no_preparation_work(self):
+        rig = Rig()
+        rig.enter(1, 10, 3, AccessKind.WRITE)
+        rig.enter(2, 11, 3, AccessKind.WRITE)
+        rig.machine.write(1, 10 * PAGE, 7)
+        f0 = rig.machine.counters.total_flushes("dcache")
+        rig.pmap.prepare_dma_read(3)
+        assert rig.machine.counters.total_flushes("dcache") == f0
+        assert rig.machine.dma.dma_read(3)[0] == 7   # memory is current
+
+    def test_uncached_access_slower_than_cache_hit(self):
+        rig = Rig()
+        rig.enter(1, 10, 3, AccessKind.WRITE)
+        rig.enter(2, 11, 3, AccessKind.WRITE)
+        rig.machine.read(1, 10 * PAGE)
+        t0 = rig.machine.clock.cycles
+        rig.machine.read(1, 10 * PAGE)
+        uncached_cost = rig.machine.clock.cycles - t0
+        assert uncached_cost >= rig.machine.config.cost.uncached_word
+
+
+class TestRecycling:
+    def test_frame_returns_to_cached_life_after_reuse(self):
+        rig = Rig()
+        rig.enter(1, 10, 3, AccessKind.WRITE)
+        rig.enter(2, 11, 3, AccessKind.WRITE)        # uncached now
+        rig.pmap.remove(1, 10)
+        rig.pmap.remove(2, 11)
+        rig.pmap.zero_fill_page(3, ultimate_vpage=20)
+        assert not rig.pmap.state_of(3).uncached
+        pte = rig.enter(1, 20, 3, AccessKind.READ)
+        assert not pte.uncached
+        assert rig.machine.read(1, 20 * PAGE) == 0
+
+    def test_plain_policy_never_goes_uncached(self):
+        rig = Rig(policy=CONFIG_F)
+        rig.enter(1, 10, 3, AccessKind.WRITE)
+        pte = rig.enter(2, 11, 3, AccessKind.READ)
+        assert not pte.uncached
+        assert rig.machine.counters.pages_made_uncached == 0

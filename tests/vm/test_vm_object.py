@@ -1,0 +1,73 @@
+"""Tests for VM objects."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.vm.vm_object import Backing, VMObject
+
+
+class TestResidency:
+    def test_establish_and_lookup(self):
+        obj = VMObject(4)
+        assert obj.resident_page(0) is None
+        obj.establish(0, 7)
+        assert obj.resident_page(0) == 7
+
+    def test_double_establish_rejected(self):
+        obj = VMObject(4)
+        obj.establish(0, 7)
+        with pytest.raises(KernelError):
+            obj.establish(0, 8)
+
+    def test_evict(self):
+        obj = VMObject(4)
+        obj.establish(1, 9)
+        assert obj.evict(1) == 9
+        assert obj.resident_page(1) is None
+
+    def test_evict_nonresident_rejected(self):
+        with pytest.raises(KernelError):
+            VMObject(4).evict(0)
+
+    def test_bounds_checked(self):
+        obj = VMObject(4)
+        with pytest.raises(KernelError):
+            obj.resident_page(4)
+
+    def test_resident_pages_snapshot(self):
+        obj = VMObject(4)
+        obj.establish(0, 1)
+        obj.establish(2, 3)
+        assert obj.resident_pages() == {0: 1, 2: 3}
+
+
+class TestBacking:
+    def test_zero_fill_default(self):
+        assert VMObject(1).backing is Backing.ZERO_FILL
+
+    def test_file_backing_requires_file_id(self):
+        with pytest.raises(KernelError):
+            VMObject(1, Backing.FILE)
+        obj = VMObject(2, Backing.FILE, file_id=9, file_offset=3)
+        assert obj.file_id == 9
+        assert obj.file_offset == 3
+
+    def test_empty_object_rejected(self):
+        with pytest.raises(KernelError):
+            VMObject(0)
+
+
+class TestRefCounting:
+    def test_reference_dereference(self):
+        obj = VMObject(1)
+        obj.reference()
+        obj.reference()
+        assert obj.dereference() == 1
+        assert obj.dereference() == 0
+
+    def test_underflow_rejected(self):
+        with pytest.raises(KernelError):
+            VMObject(1).dereference()
+
+    def test_ids_unique(self):
+        assert VMObject(1).object_id != VMObject(1).object_id

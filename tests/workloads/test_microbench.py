@@ -1,0 +1,53 @@
+"""Tests for the Section 2.5 alignment microbenchmark."""
+
+import pytest
+
+from repro.hw.params import MachineConfig
+from repro.kernel.kernel import Kernel
+from repro.vm.policy import NEW_SYSTEM, OLD_SYSTEM
+from repro.workloads.microbench import run_alias_write_loop
+
+
+def make_kernel(policy=NEW_SYSTEM):
+    return Kernel(policy=policy, config=MachineConfig(phys_pages=128))
+
+
+class TestAlignedLoop:
+    def test_no_consistency_activity(self):
+        result = run_alias_write_loop(make_kernel(), 500, aligned=True)
+        assert result.consistency_faults == 0
+        assert result.page_flushes == 0
+        assert result.page_purges == 0
+
+    def test_cheap_per_write(self):
+        result = run_alias_write_loop(make_kernel(), 500, aligned=True)
+        assert result.cycles_per_write < 20
+
+
+class TestUnalignedLoop:
+    def test_faults_every_alternation(self):
+        result = run_alias_write_loop(make_kernel(), 500, aligned=False)
+        # every write after the first two alternations faults
+        assert result.consistency_faults >= 490
+        assert result.page_flushes >= 490
+
+    def test_orders_of_magnitude_slower(self):
+        aligned = run_alias_write_loop(make_kernel(), 500, aligned=True)
+        unaligned = run_alias_write_loop(make_kernel(), 500, aligned=False)
+        # The paper: "a fraction of a second" vs "over 2 minutes" — at
+        # least two orders of magnitude.
+        assert unaligned.cycles_per_write > 100 * aligned.cycles_per_write
+
+    def test_old_system_equally_bad_when_unaligned(self):
+        new = run_alias_write_loop(make_kernel(NEW_SYSTEM), 300,
+                                   aligned=False)
+        old = run_alias_write_loop(make_kernel(OLD_SYSTEM), 300,
+                                   aligned=False)
+        assert old.cycles_per_write > 100   # no policy saves unaligned writes
+        assert new.cycles_per_write > 100
+
+    def test_values_remain_correct(self):
+        # The loop runs under the oracle: completion implies every read of
+        # the alternating writes was consistent.
+        result = run_alias_write_loop(make_kernel(), 200, aligned=False)
+        assert result.iterations == 200

@@ -1,0 +1,44 @@
+"""Tests for the randomized alias/remap/DMA stressor."""
+
+import pytest
+
+from repro.hw.params import MachineConfig
+from repro.kernel.kernel import Kernel
+from repro.vm.policy import CONFIG_LADDER
+from repro.workloads.random_ops import AliasStressor
+
+
+def make_kernel(policy=CONFIG_LADDER[-1]):
+    return Kernel(policy=policy, config=MachineConfig(phys_pages=256))
+
+
+class TestStressor:
+    def test_runs_all_action_kinds(self):
+        stressor = AliasStressor(make_kernel(), seed=7)
+        stats = stressor.run(600)
+        assert stats.reads and stats.writes and stats.remaps
+        assert stats.dma_ins and stats.dma_outs
+        assert stats.page_reads and stats.page_writes
+
+    def test_deterministic_given_seed(self):
+        a = AliasStressor(make_kernel(), seed=3).run(200)
+        b = AliasStressor(make_kernel(), seed=3).run(200)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = AliasStressor(make_kernel(), seed=1).run(200)
+        b = AliasStressor(make_kernel(), seed=2).run(200)
+        assert a != b
+
+    @pytest.mark.parametrize("policy", CONFIG_LADDER,
+                             ids=[c.name for c in CONFIG_LADDER])
+    def test_oracle_clean_under_every_policy(self, policy):
+        kernel = make_kernel(policy)
+        AliasStressor(kernel, seed=11).run(400)
+        assert kernel.machine.oracle.clean
+
+    def test_objects_keep_a_mapping_invariant(self):
+        stressor = AliasStressor(make_kernel(), seed=5)
+        stressor.run(300)
+        for mappings in stressor.mappings:
+            assert len(mappings) >= 1
