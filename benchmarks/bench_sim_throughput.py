@@ -1,0 +1,134 @@
+"""Simulator throughput: the per-word access loop vs the batched block
+engine, over the same contiguous 64-page read/write sweep.
+
+This is the bench that justifies running the workload suite at full paper
+scale (``SCALE = 1.0`` in conftest.py): the block engine simulates the
+same accesses — bit-identical clock, counters, cache and memory state —
+at a large multiple of the word loop's host-time rate.  The measured
+rates and the speedup are persisted to ``BENCH_throughput.json`` at the
+repo root.
+
+Also runnable standalone (the CI smoke invocation)::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_throughput.json"
+
+if str(REPO_ROOT / "src") not in sys.path:      # standalone invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.hw.machine import Machine
+from repro.hw.params import WORD_SIZE, MachineConfig
+from repro.prot import Prot
+
+PAGES = 64
+ASID = 1
+BASE_VPAGE = 4
+BASE_PPAGE = 8
+
+
+def _make_machine() -> Machine:
+    """The paper's default machine with 64 contiguous user pages mapped."""
+    machine = Machine(MachineConfig())
+    mappings = {(ASID, BASE_VPAGE + i): (BASE_PPAGE + i, Prot.ALL)
+                for i in range(PAGES)}
+    machine.translation_source = lambda asid, vpage: mappings.get(
+        (asid, vpage))
+    return machine
+
+
+def _sweep_words(machine: Machine, base: int,
+                 values: list) -> tuple[float, np.ndarray]:
+    """Write then read the whole region one word at a time."""
+    t0 = time.perf_counter()
+    for i, value in enumerate(values):
+        machine.write(ASID, base + i * WORD_SIZE, value)
+    out = [machine.read(ASID, base + i * WORD_SIZE)
+           for i in range(len(values))]
+    return time.perf_counter() - t0, np.asarray(out, dtype=np.uint64)
+
+
+def _sweep_blocks(machine: Machine, base: int,
+                  values: np.ndarray) -> tuple[float, np.ndarray]:
+    """The same sweep through the block engine: one call per direction."""
+    t0 = time.perf_counter()
+    machine.write_block(ASID, base, values)
+    out = machine.read_block(ASID, base, len(values))
+    return time.perf_counter() - t0, out
+
+
+def measure() -> dict:
+    base = BASE_VPAGE * MachineConfig().page_size
+    n_words = PAGES * MachineConfig().page_size // WORD_SIZE
+    values = np.arange(n_words, dtype=np.uint64)
+
+    word_machine = _make_machine()
+    word_seconds, word_out = _sweep_words(word_machine, base, values.tolist())
+
+    block_machine = _make_machine()
+    block_seconds, block_out = _sweep_blocks(block_machine, base, values)
+
+    # The speedup only counts if the two paths simulated the same thing.
+    assert np.array_equal(word_out, block_out)
+    assert word_machine.clock.cycles == block_machine.clock.cycles
+    assert word_machine.counters == block_machine.counters
+
+    accesses = 2 * n_words
+    word_rate = accesses / word_seconds
+    block_rate = accesses / block_seconds
+    return {
+        "sweep_pages": PAGES,
+        "accesses_per_path": accesses,
+        "simulated_cycles": word_machine.clock.cycles,
+        "word_path": {"host_seconds": round(word_seconds, 6),
+                      "accesses_per_second": round(word_rate)},
+        "block_path": {"host_seconds": round(block_seconds, 6),
+                       "accesses_per_second": round(block_rate)},
+        "speedup": round(block_rate / word_rate, 2),
+        "equivalent": True,
+    }
+
+
+def render(result: dict) -> str:
+    lines = [
+        "Simulated-access throughput (contiguous "
+        f"{result['sweep_pages']}-page write+read sweep, "
+        f"{result['accesses_per_path']} accesses per path)",
+        "",
+        f"{'path':<12} {'host seconds':>14} {'accesses/sec':>16}",
+    ]
+    for name, key in (("word loop", "word_path"), ("block engine",
+                                                   "block_path")):
+        row = result[key]
+        lines.append(f"{name:<12} {row['host_seconds']:>14.4f} "
+                     f"{row['accesses_per_second']:>16,}")
+    lines.append("")
+    lines.append(f"speedup: {result['speedup']}x "
+                 "(identical clock, counters and values on both paths)")
+    return "\n".join(lines)
+
+
+def test_sim_throughput(once):
+    from conftest import emit
+    result = once(measure)
+    JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    emit("sim_throughput", render(result))
+    assert result["speedup"] >= 3.0
+
+
+if __name__ == "__main__":
+    result = measure()
+    JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(render(result))
+    sys.exit(0 if result["speedup"] >= 3.0 else 1)

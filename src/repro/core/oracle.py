@@ -73,6 +73,10 @@ class ShadowMemory:
     def note_dma_write(self, ppage: int, values: np.ndarray) -> None:
         self.note_page_write(ppage * self.page_size, values)
 
+    def note_run_write(self, paddr: int, values: np.ndarray) -> None:
+        start = paddr // WORD_SIZE
+        self._shadow[start:start + len(values)] = values
+
     # ---- checking reads --------------------------------------------------------
 
     def check_cpu_read(self, paddr: int, value: int) -> None:
@@ -89,6 +93,16 @@ class ShadowMemory:
         if len(bad):
             i = int(bad[0])
             self._violate("cpu-read", pa_page_base + i * WORD_SIZE,
+                          int(expected[i]), int(values[i]))
+
+    def check_run_read(self, paddr: int, values: np.ndarray) -> None:
+        self.checks += 1
+        start = paddr // WORD_SIZE
+        expected = self._shadow[start:start + len(values)]
+        bad = np.flatnonzero(expected != values)
+        if len(bad):
+            i = int(bad[0])
+            self._violate("cpu-read", paddr + i * WORD_SIZE,
                           int(expected[i]), int(values[i]))
 
     def check_dma_read(self, ppage: int, values: np.ndarray) -> None:

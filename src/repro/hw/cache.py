@@ -34,6 +34,10 @@ from repro.hw.stats import Clock, Counters, Reason
 
 _INVALID = -1
 
+# Runs shorter than this take the scalar word loop: the fixed cost of the
+# vectorized run path only pays for itself on longer runs.
+RUN_FALLBACK_WORDS = 8
+
 
 class Cache:
     """One cache (data or instruction) with full content simulation.
@@ -67,6 +71,8 @@ class Cache:
                               dtype=np.uint64)
         self._lru = np.zeros((ways, sets), dtype=np.int64)
         self._tick = 0
+        # pa_page_base -> read-only line-tag array (see _page_tags)
+        self._page_tags_cache: dict[int, np.ndarray] = {}
 
     # ---- index helpers -----------------------------------------------------
 
@@ -122,9 +128,32 @@ class Cache:
 
     def read(self, vaddr: int, paddr: int) -> int:
         """CPU load of the word at (vaddr -> paddr); returns its value."""
+        geo = self.geo
+        if geo.associativity == 1:
+            # Direct-mapped fast path: no way search, and ndarray.item()
+            # avoids boxing the tag/value into numpy scalars.
+            if vaddr % WORD_SIZE or paddr % WORD_SIZE:
+                raise AddressError("cache word access must be word aligned")
+            if vaddr % geo.page_size != paddr % geo.page_size:
+                raise AddressError(
+                    "virtual and physical addresses must share the page offset")
+            addr = paddr if geo.physically_indexed else vaddr
+            set_idx = (addr // geo.line_size) % geo.num_sets
+            tag = paddr // geo.line_size
+            if self._tags.item(0, set_idx) == tag:
+                self.counters.read_hits += 1
+                self.clock.cycles += self.cost.cache_hit
+            else:
+                self.counters.read_misses += 1
+                self._evict(0, set_idx)
+                self._fill(0, set_idx, tag)
+            self._tick += 1
+            self._lru[0, set_idx] = self._tick
+            return self._data.item(0, set_idx,
+                                   (paddr % geo.line_size) // WORD_SIZE)
         self._check_word(vaddr, paddr)
         set_idx = self._set_of(vaddr, paddr)
-        tag = paddr // self.geo.line_size
+        tag = paddr // geo.line_size
         way = self._find_way(set_idx, tag)
         if way is None:
             self.counters.read_misses += 1
@@ -135,7 +164,7 @@ class Cache:
             self.counters.read_hits += 1
             self.clock.advance(self.cost.cache_hit)
         self._touch(way, set_idx)
-        word = (paddr % self.geo.line_size) // WORD_SIZE
+        word = (paddr % geo.line_size) // WORD_SIZE
         return int(self._data[way, set_idx, word])
 
     def write(self, vaddr: int, paddr: int, value: int) -> None:
@@ -145,9 +174,35 @@ class Cache:
         write-through mode propagates the store to memory immediately and
         never dirties a line (the Section 3.3 write-through variant).
         """
+        geo = self.geo
+        if geo.associativity == 1:
+            if vaddr % WORD_SIZE or paddr % WORD_SIZE:
+                raise AddressError("cache word access must be word aligned")
+            if vaddr % geo.page_size != paddr % geo.page_size:
+                raise AddressError(
+                    "virtual and physical addresses must share the page offset")
+            addr = paddr if geo.physically_indexed else vaddr
+            set_idx = (addr // geo.line_size) % geo.num_sets
+            tag = paddr // geo.line_size
+            if self._tags.item(0, set_idx) == tag:
+                self.counters.write_hits += 1
+                self.clock.cycles += self.cost.cache_hit
+            else:
+                self.counters.write_misses += 1
+                self._evict(0, set_idx)
+                self._fill(0, set_idx, tag)
+            self._tick += 1
+            self._lru[0, set_idx] = self._tick
+            self._data[0, set_idx, (paddr % geo.line_size) // WORD_SIZE] = value
+            if geo.write_through:
+                self.memory.write_word(paddr, value)
+                self.clock.cycles += self.cost.write_back
+            else:
+                self._dirty[0, set_idx] = True
+            return
         self._check_word(vaddr, paddr)
         set_idx = self._set_of(vaddr, paddr)
-        tag = paddr // self.geo.line_size
+        tag = paddr // geo.line_size
         way = self._find_way(set_idx, tag)
         if way is None:
             self.counters.write_misses += 1
@@ -158,13 +213,134 @@ class Cache:
             self.counters.write_hits += 1
             self.clock.advance(self.cost.cache_hit)
         self._touch(way, set_idx)
-        word = (paddr % self.geo.line_size) // WORD_SIZE
+        word = (paddr % geo.line_size) // WORD_SIZE
         self._data[way, set_idx, word] = np.uint64(value)
-        if self.geo.write_through:
+        if geo.write_through:
             self.memory.write_word(paddr, value)
             self.clock.advance(self.cost.write_back)
         else:
             self._dirty[way, set_idx] = True
+
+    # ---- contiguous word runs (the batched access engine) --------------------
+
+    def _run_shape(self, vaddr: int, paddr: int, n_words: int):
+        """Validate a run and derive its line-level shape.
+
+        Returns ``(sets, want, counts, first_word, n_lines)``: the set
+        slice the run covers, the physical line tags it wants, the number
+        of run words falling in each line, the word offset of the run's
+        first word within its first line, and the line count.
+        """
+        geo = self.geo
+        if vaddr % WORD_SIZE or paddr % WORD_SIZE:
+            raise AddressError("cache word access must be word aligned")
+        if vaddr % geo.page_size != paddr % geo.page_size:
+            raise AddressError(
+                "virtual and physical addresses must share the page offset")
+        last_off = (n_words - 1) * WORD_SIZE
+        if vaddr // geo.page_size != (vaddr + last_off) // geo.page_size:
+            raise AddressError("a cache run must stay within one page")
+        first_tag = paddr // geo.line_size
+        n_lines = (paddr + last_off) // geo.line_size - first_tag + 1
+        addr = paddr if geo.physically_indexed else vaddr
+        s0 = (addr // geo.line_size) % geo.num_sets
+        want = np.arange(first_tag, first_tag + n_lines, dtype=np.int64)
+        first_word = (paddr % geo.line_size) // WORD_SIZE
+        wpl = geo.words_per_line
+        if n_lines == 1:
+            counts = np.array([n_words], dtype=np.int64)
+        else:
+            counts = np.full(n_lines, wpl, dtype=np.int64)
+            counts[0] = wpl - first_word
+            counts[-1] = n_words - (wpl - first_word) - (n_lines - 2) * wpl
+        return slice(s0, s0 + n_lines), want, counts, first_word, n_lines
+
+    def read_run(self, vaddr: int, paddr: int, n_words: int) -> np.ndarray:
+        """Read ``n_words`` consecutive words starting at (vaddr -> paddr).
+
+        Observationally equivalent to the word loop
+        ``[self.read(vaddr + 4*i, paddr + 4*i) for i in range(n_words)]``:
+        identical counters, clock cycles, tag/dirty/data/LRU state, and
+        returned values.  The run must stay within one page (within a page
+        a victim can never belong to the run's own physical page — a
+        matching tag at the page-offset set would be a hit — so victim
+        write-backs and line fills touch disjoint memory and commute with
+        the word loop's interleaved order).  Associative caches and short
+        runs take the word loop directly.
+        """
+        if self.geo.associativity > 1 or n_words < RUN_FALLBACK_WORDS:
+            out = np.empty(n_words, dtype=np.uint64)
+            for i in range(n_words):
+                off = i * WORD_SIZE
+                out[i] = self.read(vaddr + off, paddr + off)
+            return out
+        sets, want, counts, first_word, n_lines = self._run_shape(
+            vaddr, paddr, n_words)
+        tags = self._tags[0, sets]
+        misses = tags != want
+        victims = misses & (tags != _INVALID) & self._dirty[0, sets]
+        self._write_back_victims(sets, victims)
+        n_miss = int(misses.sum())
+        if n_miss:
+            mem_lines = self.memory.read_line(
+                int(want[0]) * self.geo.line_size,
+                n_lines * self.geo.words_per_line,
+            ).reshape(n_lines, self.geo.words_per_line)
+            self._data[0, sets][misses] = mem_lines[misses]
+            self._tags[0, sets] = want
+            self._dirty[0, sets][misses] = False
+        self.counters.read_hits += n_words - n_miss
+        self.counters.read_misses += n_miss
+        self.clock.advance((n_words - n_miss) * self.cost.cache_hit
+                           + n_miss * self.cost.line_fill)
+        self._lru[0, sets] = self._tick + np.cumsum(counts)
+        self._tick += n_words
+        return self._data[0, sets].reshape(-1)[
+            first_word:first_word + n_words].copy()
+
+    def write_run(self, vaddr: int, paddr: int, values: np.ndarray) -> None:
+        """Store ``values`` to consecutive words starting at (vaddr -> paddr).
+
+        Word-loop equivalent (see :meth:`read_run`); like the word loop it
+        fills every missing line before storing into it, so partially
+        overwritten lines keep their memory contents.
+        """
+        n_words = len(values)
+        if self.geo.associativity > 1 or n_words < RUN_FALLBACK_WORDS:
+            for i in range(n_words):
+                off = i * WORD_SIZE
+                self.write(vaddr + off, paddr + off, int(values[i]))
+            return
+        sets, want, counts, first_word, n_lines = self._run_shape(
+            vaddr, paddr, n_words)
+        values = np.asarray(values, dtype=np.uint64)
+        tags = self._tags[0, sets]
+        misses = tags != want
+        victims = misses & (tags != _INVALID) & self._dirty[0, sets]
+        self._write_back_victims(sets, victims)
+        n_miss = int(misses.sum())
+        if n_miss:
+            mem_lines = self.memory.read_line(
+                int(want[0]) * self.geo.line_size,
+                n_lines * self.geo.words_per_line,
+            ).reshape(n_lines, self.geo.words_per_line)
+            self._data[0, sets][misses] = mem_lines[misses]
+            self._tags[0, sets] = want
+            self._dirty[0, sets][misses] = False
+        self._data[0, sets].reshape(-1)[
+            first_word:first_word + n_words] = values
+        self.counters.write_hits += n_words - n_miss
+        self.counters.write_misses += n_miss
+        cycles = ((n_words - n_miss) * self.cost.cache_hit
+                  + n_miss * self.cost.line_fill)
+        if self.geo.write_through:
+            self.memory.write_words(paddr, values)
+            cycles += n_words * self.cost.write_back
+        else:
+            self._dirty[0, sets] = True
+        self.clock.advance(cycles)
+        self._lru[0, sets] = self._tick + np.cumsum(counts)
+        self._tick += n_words
 
     # ---- page-granularity helpers -------------------------------------------
 
@@ -177,11 +353,21 @@ class Cache:
     def _page_tags(self, pa_page_base: int) -> np.ndarray:
         """Tags of the lines of physical page based at ``pa_page_base``, in
         page-offset order — which is also set order within a cache page,
-        because index bits below the page size come from the page offset."""
-        if pa_page_base % self.geo.page_size:
-            raise AddressError("physical page base must be page aligned")
-        first = pa_page_base // self.geo.line_size
-        return np.arange(first, first + self.geo.lines_per_page, dtype=np.int64)
+        because index bits below the page size come from the page offset.
+
+        The arrays are memoized per page base (and returned read-only):
+        every flush/purge/page-op of the same frame reuses one allocation.
+        """
+        tags = self._page_tags_cache.get(pa_page_base)
+        if tags is None:
+            if pa_page_base % self.geo.page_size:
+                raise AddressError("physical page base must be page aligned")
+            first = pa_page_base // self.geo.line_size
+            tags = np.arange(first, first + self.geo.lines_per_page,
+                             dtype=np.int64)
+            tags.flags.writeable = False
+            self._page_tags_cache[pa_page_base] = tags
+        return tags
 
     def cache_page_of(self, vaddr: int, paddr: int | None = None) -> int:
         """Cache page an address maps to under this cache's indexing mode."""
@@ -211,8 +397,6 @@ class Cache:
         n_dirty = int(dirty_match.sum())
         if n_dirty:
             ways, lines = np.nonzero(dirty_match)
-            base_word = pa_page_base // WORD_SIZE
-            wpl = self.geo.words_per_line
             for way, line in zip(ways, lines):
                 pa = pa_page_base + int(line) * self.geo.line_size
                 self.memory.write_line(pa, self._data[way, sets][line])

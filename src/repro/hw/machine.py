@@ -156,6 +156,67 @@ class Machine:
             self.oracle.check_cpu_read(paddr, value)
         return value
 
+    # ---- user-level block accesses (the batched access engine) ---------------
+
+    def read_block(self, asid: int, vaddr: int, n_words: int) -> np.ndarray:
+        """Read ``n_words`` consecutive words starting at ``vaddr``.
+
+        Observationally equivalent to ``n_words`` calls to :meth:`read`:
+        identical clock cycles, counters, cache and TLB state, and values.
+        The block is split into per-page segments; each segment translates
+        once (taking any fault exactly where the word loop would, at the
+        segment's first word) and charges the TLB hits the remaining words
+        would have taken.  Mid-segment faults cannot occur because page
+        protections only change inside OS entry points, never between the
+        user-level accesses of a run.
+        """
+        out = np.empty(n_words, dtype=np.uint64)
+        done = 0
+        while done < n_words:
+            va = vaddr + done * WORD_SIZE
+            room = (self.page_size - va % self.page_size) // WORD_SIZE
+            k = min(room, n_words - done)
+            paddr, uncached = self._translate(asid, va, AccessKind.READ)
+            if k > 1:
+                self.tlb.note_repeat_hits(k - 1)
+            if uncached:
+                values = self.memory.read_words(paddr, k)
+                self.clock.advance(self.config.cost.uncached_word * k)
+            else:
+                values = self.dcache.read_run(va, paddr, k)
+            if self.oracle is not None:
+                self.oracle.check_run_read(paddr, values)
+            out[done:done + k] = values
+            done += k
+        return out
+
+    def write_block(self, asid: int, vaddr: int, values) -> None:
+        """Store consecutive words starting at ``vaddr``; word-loop
+        equivalent (see :meth:`read_block`).  The modified-page notifier
+        fires once per page segment (it is idempotent per page, like the
+        page-granularity write path)."""
+        values = np.asarray(values, dtype=np.uint64)
+        n_words = len(values)
+        done = 0
+        while done < n_words:
+            va = vaddr + done * WORD_SIZE
+            room = (self.page_size - va % self.page_size) // WORD_SIZE
+            k = min(room, n_words - done)
+            paddr, uncached = self._translate(asid, va, AccessKind.WRITE)
+            if k > 1:
+                self.tlb.note_repeat_hits(k - 1)
+            if self.write_notifier is not None:
+                self.write_notifier(asid, va // self.page_size)
+            chunk = values[done:done + k]
+            if uncached:
+                self.memory.write_words(paddr, chunk)
+                self.clock.advance(self.config.cost.uncached_word * k)
+            else:
+                self.dcache.write_run(va, paddr, chunk)
+            if self.oracle is not None:
+                self.oracle.note_run_write(paddr, chunk)
+            done += k
+
     # ---- user-level page-granularity accesses (vectorized word loops) --------
 
     def read_page(self, asid: int, va_page_base: int) -> np.ndarray:
@@ -179,7 +240,7 @@ class Machine:
             self.write_notifier(asid, va_page_base // self.page_size)
         if uncached:
             self.memory.write_page(paddr // self.page_size,
-                                    np.asarray(values, dtype=np.uint64))
+                                   np.asarray(values, dtype=np.uint64))
             self.clock.advance(self.config.cost.uncached_word
                                * self.memory.words_per_page)
         else:

@@ -65,6 +65,22 @@ class PhysicalMemory:
     def write_word(self, paddr: int, value: int) -> None:
         self._words[self._word_index(paddr)] = np.uint64(value)
 
+    # ---- contiguous runs (used by the block access engine) ------------------
+
+    def read_words(self, paddr: int, n_words: int) -> np.ndarray:
+        idx = self._word_index(paddr)
+        if idx + n_words > len(self._words):
+            raise AddressError(f"run of {n_words} words at {paddr:#x} "
+                               "runs off the end of memory")
+        return self._words[idx:idx + n_words].copy()
+
+    def write_words(self, paddr: int, values: np.ndarray) -> None:
+        idx = self._word_index(paddr)
+        if idx + len(values) > len(self._words):
+            raise AddressError(f"run of {len(values)} words at {paddr:#x} "
+                               "runs off the end of memory")
+        self._words[idx:idx + len(values)] = values
+
     # ---- line access (used by the caches for fills and write-backs) --------
 
     def read_line(self, paddr: int, words_per_line: int) -> np.ndarray:

@@ -110,6 +110,15 @@ class Counters:
     pages_copied: int = 0
     pages_made_uncached: int = 0  # Sun-style alias sets converted to uncached
 
+    def __repr__(self) -> str:
+        return (f"Counters(reads={self.read_hits}h/{self.read_misses}m, "
+                f"writes={self.write_hits}h/{self.write_misses}m, "
+                f"write_backs={self.write_backs}, "
+                f"tlb={self.tlb_hits}h/{self.tlb_misses}m, "
+                f"flushes={self.total_flushes()}, "
+                f"purges={self.total_purges()}, "
+                f"faults={sum(self.faults.values())})")
+
     def record_flush(self, cache: str, reason: Reason, cycles: int) -> None:
         self.page_flushes[(cache, reason)] += 1
         self.flush_cycles[(cache, reason)] += cycles

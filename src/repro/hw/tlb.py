@@ -47,17 +47,42 @@ class Tlb:
         self.clock = clock
         self.counters = counters
         self._map: OrderedDict[tuple[int, int], TlbEntry] = OrderedDict()
+        # One-entry micro-cache over the last successful lookup.  Every
+        # mutator clears it, so a micro-hit implies the entry is still
+        # present in ``_map`` — the accounting must stay identical to a
+        # regular hit.
+        self._last_key: tuple[int, int] | None = None
+        self._last_entry: TlbEntry | None = None
 
     def lookup(self, asid: int, vpage: int) -> TlbEntry | None:
         """Return the cached entry, or None on a TLB miss."""
-        entry = self._map.get((asid, vpage))
+        key = (asid, vpage)
+        if key == self._last_key:
+            self.counters.tlb_hits += 1
+            self.clock.cycles += self.cost.tlb_hit
+            return self._last_entry
+        entry = self._map.get(key)
         if entry is not None:
             self.counters.tlb_hits += 1
             self.clock.advance(self.cost.tlb_hit)
+            self._last_key = key
+            self._last_entry = entry
         else:
             self.counters.tlb_misses += 1
             self.clock.advance(self.cost.tlb_miss)
         return entry
+
+    def note_repeat_hits(self, n: int) -> None:
+        """Account for ``n`` TLB hits without performing lookups.
+
+        The block access path translates once per page segment and uses
+        this to charge the hits the equivalent word loop would have taken
+        for the remaining words of the segment.
+        """
+        if n <= 0:
+            return
+        self.counters.tlb_hits += n
+        self.clock.advance(self.cost.tlb_hit * n)
 
     def insert(self, asid: int, vpage: int, ppage: int, prot: Prot,
                uncached: bool = False) -> None:
@@ -67,16 +92,24 @@ class Tlb:
         elif len(self._map) >= self.capacity:
             self._map.popitem(last=False)
         self._map[key] = TlbEntry(ppage, prot, uncached)
+        self._last_key = None
+        self._last_entry = None
 
     def invalidate(self, asid: int, vpage: int) -> None:
         self._map.pop((asid, vpage), None)
+        self._last_key = None
+        self._last_entry = None
 
     def invalidate_asid(self, asid: int) -> None:
         for key in [k for k in self._map if k[0] == asid]:
             del self._map[key]
+        self._last_key = None
+        self._last_entry = None
 
     def invalidate_all(self) -> None:
         self._map.clear()
+        self._last_key = None
+        self._last_entry = None
 
     def __len__(self) -> int:
         return len(self._map)

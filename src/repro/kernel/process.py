@@ -66,11 +66,24 @@ class UserProcess:
 
     def read_file_page(self, fd: int, page: int) -> np.ndarray:
         """Read one file page: the server IPC-transfers it here, the
-        process consumes it through the cache, then releases it."""
+        process consumes it as one block run through the cache, then
+        releases it."""
         vpage = self.kernel.unix_server.sys_read_page(self.task, fd, page)
-        values = self.task.read_page(vpage)
+        values = self.task.read_block(
+            vpage, 0, self.kernel.machine.memory.words_per_page)
         self.task.unmap(vpage)
         return values
+
+    def read_file_pages(self, fd: int, n_pages: int, start: int = 0,
+                        compute_units: int = 0) -> list[np.ndarray]:
+        """Read ``n_pages`` consecutive file pages, optionally charging
+        ``compute_units`` of work after each (the common workload rhythm)."""
+        pages = []
+        for page in range(start, start + n_pages):
+            pages.append(self.read_file_page(fd, page))
+            if compute_units:
+                self.compute(compute_units)
+        return pages
 
     def write_file_page(self, fd: int, page: int,
                         values: np.ndarray | None = None) -> None:
@@ -79,8 +92,16 @@ class UserProcess:
         if values is None:
             values = fresh_tokens(self.kernel.machine.memory.words_per_page)
         vpage = self.task.allocate_anon(1)
-        self.task.write_page(vpage, values)
+        self.task.write_block(vpage, 0, values)
         self.kernel.unix_server.sys_write_page(self.task, fd, page, vpage)
+
+    def write_file_pages(self, fd: int, n_pages: int, start: int = 0,
+                         compute_units: int = 0) -> None:
+        """Write ``n_pages`` consecutive file pages of fresh tokens."""
+        for page in range(start, start + n_pages):
+            if compute_units:
+                self.compute(compute_units)
+            self.write_file_page(fd, page)
 
     def copy_file(self, src_name: str, dst_name: str) -> None:
         """cp: read every page of one file, write it to another."""
@@ -92,7 +113,7 @@ class UserProcess:
         for page in range(src_meta.size_pages):
             values = self.read_file_page(src_fd, page)
             vpage = self.task.allocate_anon(1)
-            self.task.write_page(vpage, values)
+            self.task.write_block(vpage, 0, values)
             self.kernel.unix_server.sys_write_page(self.task, dst_fd, page,
                                                    vpage)
         self.close(src_fd)
@@ -107,8 +128,8 @@ class UserProcess:
         """Allocate and dirty private working memory; returns the vpage."""
         start = self.task.allocate_anon(npages)
         for i in range(npages):
-            for w in range(writes_per_page):
-                self.task.write(start + i, w, next(_token_counter))
+            tokens = [next(_token_counter) for _ in range(writes_per_page)]
+            self.task.write_block(start + i, 0, tokens)
         return start
 
     # ---- process operations --------------------------------------------------------------

@@ -115,6 +115,14 @@ class Task:
     def write_page(self, vpage: int, values) -> None:
         self.kernel.machine.write_page(self.asid, self.va(vpage), values)
 
+    def read_block(self, vpage: int, word: int, n_words: int):
+        return self.kernel.machine.read_block(
+            self.asid, self.va(vpage, word * 4), n_words)
+
+    def write_block(self, vpage: int, word: int, values) -> None:
+        self.kernel.machine.write_block(
+            self.asid, self.va(vpage, word * 4), values)
+
     def ifetch(self, vpage: int, word: int = 0) -> int:
         return self.kernel.machine.ifetch(self.asid, self.va(vpage, word * 4))
 

@@ -114,15 +114,11 @@ class UnixServer:
             raise KernelError(f"{proc_task.name} has no syscall channel")
         seq = next(self._seq)
         request = (opcode, seq) + args[:2]
-        for i, value in enumerate(request):
-            proc_task.write(channel.proc_vpage, i, value)
-        for i in range(len(request)):
-            self.task.read(channel.server_vpage, i)
+        proc_task.write_block(channel.proc_vpage, 0, request)
+        self.task.read_block(channel.server_vpage, 0, len(request))
         # ... the server performs the operation, then replies ...
-        self.task.write(channel.server_vpage, 8, seq)
-        self.task.write(channel.server_vpage, 9, 0)
-        proc_task.read(channel.proc_vpage, 8)
-        proc_task.read(channel.proc_vpage, 9)
+        self.task.write_block(channel.server_vpage, 8, (seq, 0))
+        proc_task.read_block(channel.proc_vpage, 8, 2)
         self.kernel.machine.consume(SYSCALL_BASE_CYCLES)
         self.syscalls += 1
         self.kernel.pageout.maybe_reclaim()

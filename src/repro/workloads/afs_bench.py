@@ -62,17 +62,15 @@ class AfsBench(Workload):
         # Phase 4: ReadAll — read every page of every file.
         for i in range(self.n_files):
             fd = shell.open(f"/afs/work/dir{i % self.n_dirs}/f{i}.c")
-            for page in range(self.pages_per_file):
-                shell.read_file_page(fd, page)
-                shell.compute(self._c(1))
+            shell.read_file_pages(fd, self.pages_per_file,
+                                  compute_units=self._c(1))
             shell.close(fd)
         # Phase 5: Make — compile a subset of the tree.
         for i in range(self.n_compiles):
             src = f"/afs/work/dir{i % self.n_dirs}/f{i}.c"
             child = shell.spawn(self.cc, work_units=self._c(4))
             fd = child.open(src)
-            for page in range(self.pages_per_file):
-                child.read_file_page(fd, page)
+            child.read_file_pages(fd, self.pages_per_file)
             child.close(fd)
             child.create(f"/afs/work/obj/f{i}.o")
             ofd = child.open(f"/afs/work/obj/f{i}.o")

@@ -54,9 +54,7 @@ class KernelBuild(Workload):
             cc = make.spawn(self.cc, work_units=12)
             # Read the source and a couple of headers.
             fd = cc.open(f"/sys/src/file{i}.c")
-            for page in range(self.src_pages):
-                cc.read_file_page(fd, page)
-                cc.compute(8)
+            cc.read_file_pages(fd, self.src_pages, compute_units=8)
             cc.close(fd)
             for h in (i % self.n_headers, (i + 1) % self.n_headers):
                 hfd = cc.open(f"/sys/include/hdr{h}.h")
@@ -65,22 +63,19 @@ class KernelBuild(Workload):
             # Write the object file.
             cc.create(f"/sys/obj/file{i}.o")
             ofd = cc.open(f"/sys/obj/file{i}.o")
-            for page in range(self.obj_pages):
-                cc.write_file_page(ofd, page)
+            cc.write_file_pages(ofd, self.obj_pages)
             cc.close(ofd)
             cc.exit()
         # Link.
         ld = make.spawn(self.ld, work_units=16)
         for i in range(self.n_sources):
             fd = ld.open(f"/sys/obj/file{i}.o")
-            for page in range(self.obj_pages):
-                ld.read_file_page(fd, page)
+            ld.read_file_pages(fd, self.obj_pages)
             ld.close(fd)
             ld.compute(4)
         ld.create("/sys/kernel.img")
         kfd = ld.open("/sys/kernel.img")
-        for page in range(max(4, self.n_sources // 8)):
-            ld.write_file_page(kfd, page)
+        ld.write_file_pages(kfd, max(4, self.n_sources // 8))
         ld.close(kfd)
         ld.exit()
 

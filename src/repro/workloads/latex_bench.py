@@ -43,9 +43,8 @@ class LatexBench(Workload):
             for name, pages in (("/tex/asplos.sty", self.style_pages),
                                 ("/tex/paper.tex", self.tex_pages)):
                 fd = proc.open(name)
-                for page in range(pages):
-                    proc.read_file_page(fd, page)
-                    proc.compute(self.compute_per_page)
+                proc.read_file_pages(fd, pages,
+                                     compute_units=self.compute_per_page)
                 proc.close(fd)
             # The second pass also reads the .aux from the first.
             if pass_number == 1:
@@ -61,9 +60,8 @@ class LatexBench(Workload):
         # Emit the outputs.
         proc.create("/tex/paper.dvi")
         fd = proc.open("/tex/paper.dvi")
-        for page in range(self.dvi_pages):
-            proc.compute(self.compute_per_page)
-            proc.write_file_page(fd, page)
+        proc.write_file_pages(fd, self.dvi_pages,
+                              compute_units=self.compute_per_page)
         proc.close(fd)
         proc.create("/tex/paper.log")
         fd = proc.open("/tex/paper.log")

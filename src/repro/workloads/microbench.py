@@ -40,12 +40,15 @@ class AliasLoopResult:
 
 
 def run_alias_write_loop(kernel: Kernel, iterations: int,
-                         aligned: bool) -> AliasLoopResult:
+                         aligned: bool,
+                         run_words: int = 1) -> AliasLoopResult:
     """Write one physical page alternately through two virtual addresses.
 
     Returns the cost of the loop.  The two mappings live in one task; the
     ``aligned`` flag controls whether the second virtual page selects the
-    same cache page as the first.
+    same cache page as the first.  With ``run_words > 1`` each iteration
+    stores a contiguous run through the block API instead of one word —
+    the batched variant of the same alternation pattern.
     """
     proc = UserProcess(kernel, "alias-loop")
     page_object = VMObject(1, Backing.ZERO_FILL)
@@ -65,8 +68,12 @@ def run_alias_write_loop(kernel: Kernel, iterations: int,
     value = 1
     for i in range(iterations):
         vpage = vpage_a if (i & 1) == 0 else vpage_b
-        proc.task.write(vpage, 0, value)
-        value += 1
+        if run_words == 1:
+            proc.task.write(vpage, 0, value)
+        else:
+            proc.task.write_block(vpage, 0,
+                                  range(value, value + run_words))
+        value += run_words
 
     from repro.hw.stats import FaultKind
     cycles = kernel.machine.clock.cycles - start_cycles

@@ -26,6 +26,8 @@ class StressStats:
     writes: int = 0
     page_reads: int = 0
     page_writes: int = 0
+    block_reads: int = 0
+    block_writes: int = 0
     remaps: int = 0
     dma_ins: int = 0
     dma_outs: int = 0
@@ -108,7 +110,7 @@ class AliasStressor:
             return
         proc_index, vpage = mapping
         values = fresh_tokens(self.kernel.machine.memory.words_per_page)
-        self.procs[proc_index].task.write_page(vpage, values)
+        self.procs[proc_index].task.write_block(vpage, 0, values)
         self.stats.page_writes += 1
 
     def do_page_read(self, obj_index: int) -> None:
@@ -116,8 +118,33 @@ class AliasStressor:
         if mapping is None:
             return
         proc_index, vpage = mapping
-        self.procs[proc_index].task.read_page(vpage)
+        self.procs[proc_index].task.read_block(
+            vpage, 0, self.kernel.machine.memory.words_per_page)
         self.stats.page_reads += 1
+
+    def do_block_write(self, obj_index: int) -> None:
+        """A partial-page contiguous run through a random alias."""
+        mapping = self._pick_mapping(obj_index)
+        if mapping is None:
+            return
+        proc_index, vpage = mapping
+        wpp = self.kernel.machine.memory.words_per_page
+        word = self.rng.randrange(wpp // 2)
+        n_words = self.rng.randrange(2, wpp - word + 1)
+        self.procs[proc_index].task.write_block(vpage, word,
+                                                fresh_tokens(n_words))
+        self.stats.block_writes += 1
+
+    def do_block_read(self, obj_index: int) -> None:
+        mapping = self._pick_mapping(obj_index)
+        if mapping is None:
+            return
+        proc_index, vpage = mapping
+        wpp = self.kernel.machine.memory.words_per_page
+        word = self.rng.randrange(wpp // 2)
+        n_words = self.rng.randrange(2, wpp - word + 1)
+        self.procs[proc_index].task.read_block(vpage, word, n_words)
+        self.stats.block_reads += 1
 
     def do_remap(self, obj_index: int) -> None:
         """Unmap one alias and map the object somewhere else — the 'new
@@ -148,7 +175,7 @@ class AliasStressor:
         self.stats.dma_outs += 1
 
     ACTIONS = ("write", "write", "read", "read", "page_write", "page_read",
-               "remap", "dma_in", "dma_out")
+               "block_write", "block_read", "remap", "dma_in", "dma_out")
 
     def step(self) -> None:
         obj_index = self.rng.randrange(len(self.objects))

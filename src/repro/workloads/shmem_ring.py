@@ -85,8 +85,8 @@ class SharedRing:
         task = self.producer.task
         head = task.read(self.prod_base, HEAD_WORD)
         page, word = self._slot(self.prod_base, head)
-        task.write(page, word, value)
-        task.write(page, word + 1, value ^ 0xFFFF)   # a little payload
+        # the record is a contiguous run: one block store
+        task.write_block(page, word, (value, value ^ 0xFFFF))
         task.write(self.prod_base, HEAD_WORD, head + 1)
 
     def consume(self) -> int | None:
@@ -96,8 +96,8 @@ class SharedRing:
         if tail == head:
             return None   # empty
         page, word = self._slot(self.cons_base, tail)
-        value = task.read(page, word)
-        check = task.read(page, word + 1)
+        record = task.read_block(page, word, 2)
+        value, check = int(record[0]), int(record[1])
         assert check == value ^ 0xFFFF, "payload corrupted"
         task.write(self.cons_base, TAIL_WORD, tail + 1)
         return value
