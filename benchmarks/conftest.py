@@ -17,12 +17,15 @@ import pathlib
 
 import pytest
 
+from repro.analysis.experiments import DEFAULT_SCALE
+
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
-# Fraction of the paper's workload sizes used for the bench runs.  The
-# batched access engine made full scale affordable: the whole suite still
-# completes in well under a minute (see bench_sim_throughput.py).
-SCALE = 1.0
+# Fraction of the paper's workload sizes used for the bench runs, shared
+# with the CLI via the experiments module.  The batched access engine made
+# full scale affordable: the whole suite still completes in well under a
+# minute (see bench_sim_throughput.py).
+SCALE = DEFAULT_SCALE
 
 
 def emit(name: str, text: str) -> None:

@@ -27,6 +27,13 @@ from repro.workloads.microbench import AliasLoopResult, run_alias_write_loop
 from repro.analysis.metrics import RunMetrics, diff_metrics, snapshot_counters
 
 
+#: the single source of truth for how large a run of the paper's
+#: workloads is relative to the published sizes.  The CLI and the
+#: benchmark suite both import this; EXPERIMENTS.md numbers are recorded
+#: at this scale.
+DEFAULT_SCALE = 1.0
+
+
 def evaluation_machine(**overrides) -> MachineConfig:
     """The machine configuration used for the evaluation runs.
 
@@ -47,17 +54,24 @@ WORKLOADS = {
 }
 
 
-def make_workload(name: str, scale: float = 1.0) -> Workload:
+def make_workload(name: str, scale: float = DEFAULT_SCALE) -> Workload:
     return WORKLOADS[name](scale)
 
 
 def run_workload(workload: Workload, policy: PolicyConfig,
                  config: MachineConfig | None = None,
-                 buffer_cache_pages: int = 48) -> RunMetrics:
-    """Boot a fresh kernel under ``policy`` and measure one execution."""
-    kernel = Kernel(policy=policy,
-                    config=config or evaluation_machine(),
-                    buffer_cache_pages=buffer_cache_pages)
+                 buffer_cache_pages: int = 48,
+                 kernel: Kernel | None = None) -> RunMetrics:
+    """Boot a fresh kernel under ``policy`` and measure one execution.
+
+    A pre-booted ``kernel`` may be supplied instead (the CLI uses this to
+    attach a fault injector before the workload starts); it must have been
+    built with the same policy.
+    """
+    if kernel is None:
+        kernel = Kernel(policy=policy,
+                        config=config or evaluation_machine(),
+                        buffer_cache_pages=buffer_cache_pages)
     workload.setup(kernel)
     before = snapshot_counters(kernel.machine.counters)
     start_cycles = kernel.machine.clock.cycles
@@ -82,7 +96,7 @@ class Table1Row:
         return 100.0 * (self.old.seconds - self.new.seconds) / self.old.seconds
 
 
-def run_table1(scale: float = 1.0,
+def run_table1(scale: float = DEFAULT_SCALE,
                config: MachineConfig | None = None) -> list[Table1Row]:
     """Table 1: each benchmark on the old and new kernels."""
     rows = []
@@ -95,7 +109,7 @@ def run_table1(scale: float = 1.0,
     return rows
 
 
-def run_table4(scale: float = 1.0,
+def run_table4(scale: float = DEFAULT_SCALE,
                config: MachineConfig | None = None,
                workload_names: tuple[str, ...] | None = None,
                ) -> dict[str, list[RunMetrics]]:
@@ -109,7 +123,7 @@ def run_table4(scale: float = 1.0,
     return results
 
 
-def run_table5_probe(scale: float = 0.5,
+def run_table5_probe(scale: float = DEFAULT_SCALE,
                      config: MachineConfig | None = None) -> list[RunMetrics]:
     """Measure the Table 5 systems on a common alias/remap-heavy probe
     (afs-bench), giving behavioural evidence for the qualitative claims."""

@@ -2,17 +2,22 @@
 
 Usage::
 
-    python -m repro table1 [--scale 0.5]
+    python -m repro table1 [--scale 1.0]
     python -m repro table2
-    python -m repro table4 [--scale 0.5] [--workload kernel-build]
-    python -m repro table5 [--scale 0.5]
+    python -m repro table4 [--scale 1.0] [--workload kernel-build]
+    python -m repro table5 [--scale 1.0]
     python -m repro micro [--iterations 20000]
-    python -m repro run <workload> [--policy F] [--scale 0.5]
-    python -m repro all [--scale 0.5]
+    python -m repro run <workload> [--policy F] [--scale 1.0]
+                                   [--inject PLAN --seed N]
+    python -m repro chaos [--plans 50] [--preset mixed] [--steps 200]
+    python -m repro all [--scale 1.0]
 
 Every command prints the regenerated table to stdout; ``run`` executes a
 single workload under a named policy configuration and prints the
-counters the tables are built from.
+counters the tables are built from.  ``--inject`` arms the deterministic
+fault injector for the run (see docs/fault-injection.md for the plan
+grammar); ``chaos`` runs the detected-or-harmless harness over a batch of
+seeded random fault plans.
 """
 
 from __future__ import annotations
@@ -22,13 +27,14 @@ import sys
 
 from repro.analysis.charts import render_ladder_chart
 from repro.analysis.comparison import render_table5
-from repro.analysis.experiments import (evaluation_machine, make_workload,
-                                        run_alignment_micro, run_table1,
-                                        run_table4, run_table5_probe,
-                                        run_workload)
+from repro.analysis.experiments import (DEFAULT_SCALE, evaluation_machine,
+                                        make_workload, run_alignment_micro,
+                                        run_table1, run_table4,
+                                        run_table5_probe, run_workload)
 from repro.analysis.tables import (render_micro, render_overhead_summary,
                                    render_table1, render_table4)
 from repro.core.transitions import render_table2
+from repro.errors import ReproError
 from repro.vm.policy import by_name
 
 
@@ -63,8 +69,28 @@ def _cmd_micro(args) -> None:
 
 def _cmd_run(args) -> None:
     policy = by_name(args.policy)
-    metrics = run_workload(make_workload(args.workload, args.scale), policy,
-                           config=evaluation_machine())
+    kernel = injector = None
+    if args.inject:
+        from repro.faults import FaultInjector, FaultPlan
+        from repro.kernel.kernel import Kernel
+
+        plan = FaultPlan.parse(args.inject, seed=args.seed)
+        kernel = Kernel(policy=policy, config=evaluation_machine())
+        injector = FaultInjector(plan, kernel.machine.clock)
+        injector.attach_kernel(kernel)
+    try:
+        metrics = run_workload(make_workload(args.workload, args.scale),
+                               policy, config=evaluation_machine(),
+                               kernel=kernel)
+    except ReproError as exc:
+        if injector is None:
+            raise
+        print(f"{args.workload} under configuration {policy.name}: "
+              f"fail-stop after {len(injector.audit)} injections")
+        print(f"  detected: {type(exc).__name__}: {exc}")
+        for record in injector.audit:
+            print(f"    {record}")
+        raise SystemExit(1)
     print(f"{metrics.workload_name} under configuration {policy.name} "
           f"({policy.description}):")
     print(f"  elapsed:            {metrics.seconds:.4f}s "
@@ -81,6 +107,26 @@ def _cmd_run(args) -> None:
           f"{metrics.dma_writes} writes")
     print(f"  VI-cache overhead:  "
           f"{100 * metrics.consistency_overhead_fraction:.3f}%")
+    if injector is not None:
+        print(f"  fault injections:   {len(injector.audit)} "
+              f"(plan seed {args.seed})")
+        for record in injector.audit:
+            print(f"    {record}")
+
+
+def _cmd_chaos(args) -> None:
+    from repro.faults import run_chaos_suite
+    from repro.faults.harness import PRESETS, render_suite
+
+    presets = ([args.preset] if args.preset != "all"
+               else [p for p in PRESETS if p != "control"])
+    reports = []
+    for preset in presets:
+        reports += run_chaos_suite(range(args.seed, args.seed + args.plans),
+                                   preset=preset, steps=args.steps)
+    print(render_suite(reports))
+    if any(not r.ok for r in reports):
+        raise SystemExit(1)
 
 
 def _cmd_all(args) -> None:
@@ -109,19 +155,19 @@ def build_parser() -> argparse.ArgumentParser:
         return p
 
     p = add("table1", _cmd_table1, "old-vs-new benchmark comparison")
-    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
 
     add("table2", _cmd_table2, "the consistency state transition table")
 
     p = add("table4", _cmd_table4, "the A-F configuration ladder")
-    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
     p.add_argument("--workload",
                    choices=["afs-bench", "latex-paper", "kernel-build"])
     p.add_argument("--chart", action="store_true",
                    help="append ASCII bar charts")
 
     p = add("table5", _cmd_table5, "the related-systems comparison")
-    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
 
     p = add("micro", _cmd_micro, "the Section 2.5 alignment loop")
     p.add_argument("--iterations", type=int, default=20_000)
@@ -131,10 +177,27 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["afs-bench", "latex-paper", "kernel-build"])
     p.add_argument("--policy", default="F",
                    help="A..F, G, or a Table 5 system name")
-    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p.add_argument("--inject", metavar="PLAN",
+                   help="fault plan: 'point[:rate[:burst]],...' "
+                        "(see docs/fault-injection.md)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the fault plan's RNG")
+
+    p = add("chaos", _cmd_chaos,
+            "detected-or-harmless harness over random fault plans")
+    p.add_argument("--plans", type=int, default=50,
+                   help="number of seeded plans per preset")
+    p.add_argument("--preset", default="mixed",
+                   choices=["control", "transient", "consistency",
+                            "recovery", "mixed", "all"])
+    p.add_argument("--steps", type=int, default=200,
+                   help="stressor steps per run")
+    p.add_argument("--seed", type=int, default=0,
+                   help="first seed of the batch")
 
     p = add("all", _cmd_all, "everything")
-    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
 
     return parser
 

@@ -48,7 +48,15 @@ class ShadowMemory:
         page_size: bytes per frame.
         record_only: when True, violations are appended to
             :attr:`violations` instead of raising — used by the
-            fault-injection tests, which *expect* staleness.
+            fault-injection tests, which *expect* staleness.  The flag may
+            be toggled mid-run: each check consults the current value, so
+            a harness can record during a chaos window and fail fast
+            outside it.
+
+    Accounting: :attr:`checks` counts *check calls*, not words — a
+    page-granularity or run-granularity check counts once however many
+    words it compares.  Per-word divergence detail is carried by the
+    :class:`Violation` it records instead.
     """
 
     def __init__(self, num_pages: int, page_size: int,
@@ -120,6 +128,16 @@ class ShadowMemory:
     def expected_word(self, paddr: int) -> int:
         """The program-order current value of a physical word."""
         return int(self._shadow[paddr // WORD_SIZE])
+
+    def expected_page(self, pa_page_base: int) -> np.ndarray:
+        """The program-order current contents of a whole frame (a copy).
+
+        The fault injector uses this to classify an injected omission at
+        injection time: skipping a flush is *consequential* exactly when
+        physical memory diverges from this record.
+        """
+        start = pa_page_base // WORD_SIZE
+        return self._shadow[start:start + self.words_per_page].copy()
 
     @property
     def clean(self) -> bool:

@@ -1,0 +1,35 @@
+"""Deterministic fault injection and chaos testing.
+
+The subsystem has two halves:
+
+* :mod:`repro.faults.injector` — a seeded, deterministic
+  :class:`FaultInjector` with named injection points registered across the
+  stack (pmap cache operations, DMA preparation and transfer, disk I/O,
+  TLB entries, the kernel fault handler).  Components query the injector
+  at their injection points; every decision is drawn from an injected RNG
+  and scheduled against the simulated clock — never wall time — so a
+  (plan, seed, workload) triple replays exactly.
+* :mod:`repro.faults.harness` — the chaos harness: runs witness workloads
+  under randomized fault plans and checks the core invariant that every
+  consistency-affecting injection is either observed by the staleness
+  oracle or provably harmless, and that transient device faults are
+  absorbed by the kernel's retry paths with correct final state.
+
+See ``docs/fault-injection.md`` for the injection-point catalog, the plan
+format, and the determinism guarantees.
+"""
+
+from repro.faults.injector import (ALL_POINTS, CONSISTENCY_POINTS,
+                                   DIVERGENCE_POINTS, RECOVERABLE_POINTS,
+                                   TERMINAL_POINTS, FaultInjector, FaultPlan,
+                                   FaultRule, InjectionRecord)
+from repro.faults.harness import (ChaosReport, build_plan, run_chaos,
+                                  run_chaos_suite, verify_report)
+
+__all__ = [
+    "FaultInjector", "FaultPlan", "FaultRule", "InjectionRecord",
+    "ALL_POINTS", "CONSISTENCY_POINTS", "DIVERGENCE_POINTS",
+    "RECOVERABLE_POINTS", "TERMINAL_POINTS",
+    "ChaosReport", "build_plan", "run_chaos", "run_chaos_suite",
+    "verify_report",
+]

@@ -8,13 +8,22 @@ before a DMA-read and to purge shadowing cache data around a DMA-write
 
 Naming follows the paper: **DMA-write** transfers data from the device
 *into* memory; **DMA-read** transfers data from memory *to* the device.
+
+Transfer verification: the engine models a device whose completion status
+reports corrupted or truncated transfers (a checksum over the wire).  A
+failed transfer raises :class:`~repro.errors.DmaTransferError`; for a
+DMA-write the partial or corrupted data really is in memory (and is noted
+to the oracle as such), for a DMA-read no data reaches the device.  The
+fault injector drives these failures through the ``dma.transfer.corrupt``
+and ``dma.transfer.partial`` points; callers recover by re-issuing the
+transfer.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import AddressError
+from repro.errors import AddressError, DmaTransferError
 from repro.hw.params import MachineConfig
 from repro.hw.physmem import PhysicalMemory
 from repro.hw.stats import Clock, Counters
@@ -30,9 +39,30 @@ class DmaEngine:
         self.clock = clock
         self.counters = counters
         self.oracle = oracle  # ShadowMemory or None
+        # Optional fault injector (dma.transfer.*); None in normal runs.
+        self.injector = None
 
     def _charge(self, words: int) -> None:
         self.clock.advance(self.cost.dma_setup + words * self.cost.dma_word)
+
+    def _transfer_fault(self, direction: str,
+                        ppage: int) -> tuple["InjectionRecord", str, int] | None:
+        """Ask the injector whether this transfer fails; returns
+        (record, kind, words transferred) or None."""
+        if self.injector is None:
+            return None
+        wpp = self.memory.words_per_page
+        record = self.injector.fires("dma.transfer.corrupt", ppage=ppage,
+                                     direction=direction)
+        if record is not None:
+            return record, "corrupt", wpp
+        record = self.injector.fires("dma.transfer.partial", ppage=ppage,
+                                     direction=direction)
+        if record is not None:
+            words = self.injector.rng.randrange(1, wpp)
+            record.detail["words"] = words
+            return record, "partial", words
+        return None
 
     def dma_write(self, ppage: int, values: np.ndarray) -> None:
         """Device -> memory: deposit one page of device data in frame ``ppage``.
@@ -44,6 +74,32 @@ class DmaEngine:
         values = np.asarray(values, dtype=np.uint64)
         if len(values) != self.memory.words_per_page:
             raise AddressError("DMA transfers whole pages")
+        fault = self._transfer_fault("write", ppage)
+        if fault is not None:
+            record, kind, words = fault
+            delivered = values[:words].copy()
+            if kind == "corrupt":
+                # Flip bits in one word somewhere in the page.
+                index = self.injector.rng.randrange(words)
+                delivered[index] ^= np.uint64(
+                    self.injector.rng.getrandbits(63) | 1)
+            # The damaged prefix really lands in memory; the completion
+            # status then reports the failure.  The oracle is told the
+            # truth about memory so a later read of the junk (a recovery
+            # bug) would not be misreported as a consistency violation.
+            pa_base = ppage * self.memory.page_size
+            self.memory.write_words(pa_base, delivered)
+            if self.oracle is not None:
+                self.oracle.note_run_write(pa_base, delivered)
+            self.counters.dma_writes += 1
+            self._charge(words)
+            record.resolve("raised")
+            error = DmaTransferError(
+                f"DMA-write into frame {ppage} failed verification",
+                ppage=ppage, kind=kind,
+                words=words if kind == "partial" else None)
+            error.record = record
+            raise error
         self.memory.write_page(ppage, values)
         self.counters.dma_writes += 1
         self._charge(len(values))
@@ -57,6 +113,20 @@ class DmaEngine:
         against the program-order contents: a dirty cache line that was
         never flushed shows up here as a stale transfer (Section 2.4).
         """
+        fault = self._transfer_fault("read", ppage)
+        if fault is not None:
+            record, kind, words = fault
+            # The device rejects the transfer at completion; no data is
+            # delivered, so there is nothing for the oracle to check.
+            self.counters.dma_reads += 1
+            self._charge(words)
+            record.resolve("raised")
+            error = DmaTransferError(
+                f"DMA-read of frame {ppage} failed verification",
+                ppage=ppage, kind=kind,
+                words=words if kind == "partial" else None)
+            error.record = record
+            raise error
         values = self.memory.read_page(ppage)
         self.counters.dma_reads += 1
         self._charge(len(values))

@@ -99,7 +99,7 @@ class Machine:
         """
         vpage = vaddr // self.page_size
         needed = access.required
-        for _ in range(MAX_FAULT_RETRIES):
+        for attempt in range(MAX_FAULT_RETRIES + 1):
             entry = self.tlb.lookup(asid, vpage)
             if entry is None and self.translation_source is not None:
                 translation = self.translation_source(asid, vpage)
@@ -111,6 +111,8 @@ class Machine:
             if entry is not None and entry.prot.allows(needed):
                 return (entry.ppage * self.page_size
                         + vaddr % self.page_size, entry.uncached)
+            if attempt == MAX_FAULT_RETRIES:
+                break  # the budget of handler invocations is spent
             if self.fault_handler is None:
                 raise ProtectionError(
                     f"{access.value} of va {vaddr:#x} in asid {asid} denied "
@@ -118,7 +120,9 @@ class Machine:
             self.fault_handler(FaultInfo(asid, vaddr, access))
         raise FaultLoopError(
             f"{access.value} of va {vaddr:#x} in asid {asid} still faulting "
-            f"after {MAX_FAULT_RETRIES} resolution attempts")
+            f"after {MAX_FAULT_RETRIES} resolution attempts",
+            asid=asid, vaddr=vaddr, access=access.value,
+            attempts=MAX_FAULT_RETRIES)
 
     # ---- user-level CPU accesses ---------------------------------------------
 

@@ -145,6 +145,14 @@ class CostModel:
     dma_setup: int = 200                # programming a DMA transfer
     dma_word: int = 1                   # per-word device transfer time
 
+    # Recovery costs (the fault-injection subsystem's retry paths charge
+    # these to the shared clock so recovery shows up in cycle counts).
+    disk_retry_backoff: int = 2_000     # base backoff before re-issuing a
+                                        # failed disk/DMA transfer; attempt
+                                        # k waits k times this
+    tlb_parity_recovery: int = 50       # detect a corrupted TLB entry via
+                                        # parity, invalidate, re-walk
+
     def seconds(self, cycles: int) -> float:
         """Convert a cycle count into seconds of 50 MHz machine time."""
         return cycles / self.clock_hz

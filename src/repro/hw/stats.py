@@ -110,6 +110,14 @@ class Counters:
     pages_copied: int = 0
     pages_made_uncached: int = 0  # Sun-style alias sets converted to uncached
 
+    # fault recovery (all zero unless faults occur or are injected)
+    disk_retries: int = 0           # disk/DMA transfers re-issued after a
+                                    # transient failure (backoff charged)
+    tlb_parity_recoveries: int = 0  # corrupted TLB entries caught by parity
+                                    # and refilled from the page tables
+    frames_quarantined: int = 0     # frames retired after failing DMA
+                                    # transfer verification repeatedly
+
     def __repr__(self) -> str:
         return (f"Counters(reads={self.read_hits}h/{self.read_misses}m, "
                 f"writes={self.write_hits}h/{self.write_misses}m, "

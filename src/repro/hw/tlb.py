@@ -46,6 +46,8 @@ class Tlb:
         self.cost = cost
         self.clock = clock
         self.counters = counters
+        # Optional fault injector ("tlb.entry.corrupt"); None in normal runs.
+        self.injector = None
         self._map: OrderedDict[tuple[int, int], TlbEntry] = OrderedDict()
         # One-entry micro-cache over the last successful lookup.  Every
         # mutator clears it, so a micro-hit implies the entry is still
@@ -57,6 +59,21 @@ class Tlb:
     def lookup(self, asid: int, vpage: int) -> TlbEntry | None:
         """Return the cached entry, or None on a TLB miss."""
         key = (asid, vpage)
+        if (self.injector is not None
+                and (key == self._last_key or key in self._map)):
+            record = self.injector.fires("tlb.entry.corrupt", asid=asid,
+                                         vpage=vpage)
+            if record is not None:
+                # The entry's parity no longer checks: hardware discards
+                # it and the walk refills from the page tables — detected
+                # and recovered on the spot, with the recovery charged.
+                self.invalidate(asid, vpage)
+                self.counters.tlb_parity_recoveries += 1
+                self.counters.tlb_misses += 1
+                self.clock.advance(self.cost.tlb_parity_recovery
+                                   + self.cost.tlb_miss)
+                record.resolve("recovered")
+                return None
         if key == self._last_key:
             self.counters.tlb_hits += 1
             self.clock.cycles += self.cost.tlb_hit

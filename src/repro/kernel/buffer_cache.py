@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import TYPE_CHECKING
 
-from repro.errors import KernelError
+from repro.errors import DmaTransferError, KernelError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
@@ -54,12 +54,29 @@ class BufferCache:
     # ---- block access ------------------------------------------------------------
 
     def read_block(self, file_id: int, page: int) -> int:
-        """Frame holding the block, reading it from disk if necessary."""
+        """Frame holding the block, reading it from disk if necessary.
+
+        If the disk exhausts its retry budget with transfer-verification
+        failures against one frame, the frame itself is suspect: it is
+        quarantined and the read is re-issued once into a fresh frame.
+        A failure against the replacement propagates (fail-stop).
+        """
         frame = self._lookup(file_id, page)
         if frame is not None:
             return frame
         entry = self._install(file_id, page)
-        self.kernel.disk.read_block(file_id, page, entry.ppage)
+        try:
+            self.kernel.disk.read_block(file_id, page, entry.ppage)
+        except DmaTransferError:
+            del self._entries[(file_id, page)]
+            self.kernel.quarantine_frame(entry.ppage)
+            entry = self._install(file_id, page)
+            try:
+                self.kernel.disk.read_block(file_id, page, entry.ppage)
+            except DmaTransferError:
+                del self._entries[(file_id, page)]
+                self.kernel.free_frame(entry.ppage)
+                raise
         return entry.ppage
 
     def write_block_from_frame(self, file_id: int, page: int,

@@ -1,4 +1,4 @@
-"""A DMA disk.
+"""A DMA disk with bounded, deterministic retry.
 
 The disk moves whole pages between its platters and physical memory using
 the DMA engine, which bypasses the caches (Section 1.1: "I/O devices that
@@ -9,18 +9,29 @@ purge-around-DMA-write obligations of Section 2.4.
 Platter contents are real word arrays, so a missing flush before a disk
 write stores stale data and the oracle (checking what the device reads)
 catches it.
+
+Resilience: device-level faults are *transient* — a busy controller, a
+transfer the device's completion status rejects — and the disk re-issues
+the whole operation (including the pmap preparation) up to
+:data:`MAX_TRANSFER_ATTEMPTS` times.  Each retry charges a growing
+backoff to the simulated clock, so recovery is visible in cycle counts.
+A missing platter block is terminal and raises a structured
+:class:`~repro.errors.KernelError` immediately.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.errors import KernelError
+from repro.errors import DiskIOError, KernelError, TransientError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
+
+#: total tries per transfer (the first attempt plus the retry budget)
+MAX_TRANSFER_ATTEMPTS = 4
 
 
 def synthetic_block(file_id: int, page: int, words_per_page: int) -> np.ndarray:
@@ -37,6 +48,10 @@ class Disk:
         self._blocks: dict[tuple[int, int], np.ndarray] = {}
         self.reads = 0
         self.writes = 0
+        self.retries = 0
+        # Optional fault injector (disk.*.transient, disk.read.missing);
+        # None in normal runs.
+        self.injector = None
 
     def preload(self, file_id: int, npages: int) -> None:
         """Create a file's blocks directly on the platter (a file that
@@ -45,20 +60,81 @@ class Disk:
         for page in range(npages):
             self._blocks[(file_id, page)] = synthetic_block(file_id, page, wpp)
 
+    # ---- the retry loop --------------------------------------------------------
+
+    def _device_fault(self, point: str, file_id: int, page: int,
+                      ppage: int) -> None:
+        """Raise an injected transient device error, if one fires."""
+        if self.injector is None:
+            return
+        record = self.injector.fires(point, file_id=file_id, page=page,
+                                     ppage=ppage)
+        if record is not None:
+            record.resolve("raised")
+            error = DiskIOError(f"disk: transient {point.split('.')[1]} fault",
+                                file_id=file_id, page=page, ppage=ppage)
+            error.record = record
+            raise error
+
+    def _with_retries(self, kind: str, attempt: Callable[[], None],
+                      file_id: int, page: int, ppage: int) -> None:
+        """Run ``attempt`` with bounded retry and clock-charged backoff."""
+        cost = self.kernel.machine.config.cost
+        clock = self.kernel.machine.clock
+        absorbed: list[TransientError] = []
+        for attempt_no in range(1, MAX_TRANSFER_ATTEMPTS + 1):
+            try:
+                attempt()
+            except TransientError as error:
+                if attempt_no == MAX_TRANSFER_ATTEMPTS:
+                    error.attempts = attempt_no
+                    if error.record is not None:
+                        error.record.resolve("detected")
+                    raise
+                absorbed.append(error)
+                self.retries += 1
+                self.kernel.machine.counters.disk_retries += 1
+                clock.advance(cost.disk_retry_backoff * attempt_no)
+                continue
+            for earlier in absorbed:
+                if earlier.record is not None:
+                    earlier.record.resolve("recovered")
+            return
+
+    # ---- transfers --------------------------------------------------------------
+
     def read_block(self, file_id: int, page: int, ppage: int) -> None:
         """Disk -> memory: a DMA-write into frame ``ppage``."""
         block = self._blocks.get((file_id, page))
-        if block is None:
-            raise KernelError(f"disk: no block for file {file_id} page {page}")
-        self.kernel.pmap.prepare_dma_write(ppage)
-        self.kernel.machine.dma.dma_write(ppage, block)
+        missing = (self.injector is not None
+                   and self.injector.fires("disk.read.missing",
+                                           file_id=file_id, page=page))
+        if missing:
+            missing.resolve("detected")
+        if block is None or missing:
+            raise KernelError("disk: no such block on the platter",
+                              file_id=file_id, page=page)
+
+        def attempt() -> None:
+            self._device_fault("disk.read.transient", file_id, page, ppage)
+            self.kernel.pmap.prepare_dma_write(ppage)
+            self.kernel.machine.dma.dma_write(ppage, block)
+
+        self._with_retries("read", attempt, file_id, page, ppage)
         self.reads += 1
 
     def write_block(self, file_id: int, page: int, ppage: int) -> None:
         """Memory -> disk: a DMA-read from frame ``ppage``."""
-        self.kernel.pmap.prepare_dma_read(ppage)
-        self._blocks[(file_id, page)] = self.kernel.machine.dma.dma_read(ppage)
+        def attempt() -> None:
+            self._device_fault("disk.write.transient", file_id, page, ppage)
+            self.kernel.pmap.prepare_dma_read(ppage)
+            self._blocks[(file_id, page)] = \
+                self.kernel.machine.dma.dma_read(ppage)
+
+        self._with_retries("write", attempt, file_id, page, ppage)
         self.writes += 1
+
+    # ---- platter inspection ------------------------------------------------------
 
     def has_block(self, file_id: int, page: int) -> bool:
         return (file_id, page) in self._blocks

@@ -53,6 +53,11 @@ class Kernel:
         self._asids = itertools.count(1)
         self._global_va_cursor = itertools.count(16)
         self.machine.fault_handler = self.handle_fault
+        # Optional fault injector (kernel.fault.stall); None in normal runs.
+        self.fault_injector = None
+        # Frames retired after failing DMA transfer verification; never
+        # returned to the free list.
+        self.quarantined: set[int] = set()
 
         self.disk = Disk(self)
         self.pageout = PageoutDaemon(self)
@@ -78,8 +83,18 @@ class Kernel:
         return self.free_list.allocate(color)
 
     def free_frame(self, ppage: int) -> None:
+        if ppage in self.quarantined:
+            return  # retired hardware never re-enters circulation
         color = self.pmap.frame_freed(ppage)
         self.free_list.free(ppage, color)
+
+    def quarantine_frame(self, ppage: int) -> None:
+        """Retire a frame that repeatedly failed DMA transfer verification
+        (suspected bad hardware).  Its cached traces are discarded and it
+        is never allocated again."""
+        self.pmap.quarantine_frame(ppage)
+        self.quarantined.add(ppage)
+        self.machine.counters.frames_quarantined += 1
 
     def release_object_if_dead(self, vm_object: VMObject) -> None:
         """Free a VM object's frames once nothing references it."""
@@ -108,6 +123,16 @@ class Kernel:
     def handle_fault(self, fault: FaultInfo) -> None:
         cost = self.machine.config.cost.fault_overhead
         self.machine.clock.advance(cost)
+        if self.fault_injector is not None:
+            record = self.fault_injector.fires("kernel.fault.stall",
+                                               asid=fault.asid,
+                                               vaddr=fault.vaddr)
+            if record is not None:
+                # The handler makes no progress this pass; the hardware
+                # retry loop re-faults (absorbing a bounded stall) or
+                # escalates to FaultLoopError with full diagnostics.
+                record.resolve("retried")
+                return
         vpage = fault.vaddr // self.machine.page_size
         task = self.tasks.get(fault.asid)
         if task is None:

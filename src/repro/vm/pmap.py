@@ -44,6 +44,9 @@ class Pmap:
         self.page_size = machine.page_size
         self.ncp = machine.dcache.geo.num_cache_pages
         self.nicp = machine.icache.geo.num_cache_pages
+        # Optional fault injector (pmap.flush.*, pmap.purge.*,
+        # pmap.dma_*_prep.skip); None in normal runs.
+        self.injector = None
         self.page_states: dict[int, PhysPageState] = {}
         self.page_tables: dict[int, PageTable] = {}
         self.engine = CacheControl(
@@ -85,13 +88,56 @@ class Pmap:
 
     def _flush_cache_page(self, cache_page: int, ppage: int,
                           reason: Reason) -> None:
+        if self.injector is not None:
+            record = self.injector.fires("pmap.flush.drop", ppage=ppage,
+                                         cache_page=cache_page)
+            if record is not None:
+                # The flush is lost while the bookkeeping proceeds as if
+                # it happened.  Consequential exactly when memory lags the
+                # program-order contents of the frame (dirty data exists
+                # that only the flush would have pushed out).
+                record.consequential = self._frame_divergent(ppage)
+                return
+            if self.injector.fires("pmap.flush.duplicate", ppage=ppage,
+                                   cache_page=cache_page) is not None:
+                # Run the operation twice: a flush is idempotent, so the
+                # duplicate must be harmless (and visibly charged).
+                self.machine.dcache.flush_page_frame(
+                    cache_page, self._pa_base(ppage), reason)
         self.machine.dcache.flush_page_frame(cache_page,
                                              self._pa_base(ppage), reason)
 
     def _purge_cache_page(self, cache_page: int, ppage: int,
                           reason: Reason) -> None:
+        if self.injector is not None:
+            record = self.injector.fires("pmap.purge.drop", ppage=ppage,
+                                         cache_page=cache_page)
+            if record is not None:
+                # The purge is lost: lines that should have been discarded
+                # stay resident.  Consequential when any such line exists.
+                record.consequential = bool(
+                    self.machine.dcache.resident_lines(
+                        cache_page, self._pa_base(ppage)))
+                return
+            if self.injector.fires("pmap.purge.duplicate", ppage=ppage,
+                                   cache_page=cache_page) is not None:
+                self.machine.dcache.purge_page_frame(
+                    cache_page, self._pa_base(ppage), reason)
         self.machine.dcache.purge_page_frame(cache_page,
                                              self._pa_base(ppage), reason)
+
+    def _frame_divergent(self, ppage: int) -> bool:
+        """Does physical memory disagree with program order for ``ppage``?
+
+        Used to classify injected omissions at injection time; without an
+        oracle the question cannot be answered, so err on the side of
+        consequential.
+        """
+        oracle = self.machine.oracle
+        if oracle is None:
+            return True
+        return not np.array_equal(self.machine.memory.read_page(ppage),
+                                  oracle.expected_page(self._pa_base(ppage)))
 
     def _set_protection(self, mapping: Mapping, prot: Prot | None) -> None:
         if prot is None:
@@ -435,6 +481,15 @@ class Pmap:
     def prepare_dma_read(self, ppage: int) -> None:
         """Before a device reads this frame: flush any dirty cache data so
         the device sees the most recent values."""
+        if self.injector is not None:
+            record = self.injector.fires("pmap.dma_read_prep.skip",
+                                         ppage=ppage)
+            if record is not None:
+                # Consequential iff memory currently lags program order:
+                # the device is about to read it, so the very next
+                # check_dma_read must observe the staleness.
+                record.consequential = self._frame_divergent(ppage)
+                return
         state = self.state_of(ppage)
         self.sync_modified(state)
         if state.uncached:
@@ -446,6 +501,21 @@ class Pmap:
         """Before a device writes this frame: purge dirty cache data (it
         would otherwise be written back over the device's data) and mark
         every cached copy stale (it would otherwise shadow the new data)."""
+        if self.injector is not None:
+            record = self.injector.fires("pmap.dma_write_prep.skip",
+                                         ppage=ppage)
+            if record is not None:
+                # Consequential when any cached trace of the frame exists:
+                # a resident copy can shadow the device's data from the
+                # CPU, a dirty line can be written back over it.  Latent —
+                # the hazard needs a later access to materialize.
+                state = self.page_states.get(ppage)
+                record.consequential = bool(
+                    state is not None and not state.uncached
+                    and (state.cache_dirty or state.mapped.any()
+                         or state.stale.any() or state.imapped.any()
+                         or state.istale.any()))
+                return
         state = self.state_of(ppage)
         self.sync_modified(state)
         if state.uncached:
@@ -504,6 +574,30 @@ class Pmap:
         self.machine.tlb.invalidate(asid, vpage)
 
     # ---- frame lifecycle ---------------------------------------------------------------
+
+    def quarantine_frame(self, ppage: int) -> None:
+        """Retire a frame that keeps failing DMA transfer verification.
+
+        Any cached trace of the frame is discarded (its contents are
+        undefined junk, dead by definition) and the consistency state is
+        dropped; the kernel never hands the frame out again.
+        """
+        state = self.page_states.get(ppage)
+        if state is None:
+            return
+        if state.mappings:
+            raise KernelError(
+                f"cannot quarantine frame {ppage}: still mapped",
+                ppage=ppage, mappings=len(state.mappings))
+        targets = set(state.mapped.indices()) | set(state.stale.indices())
+        if state.cache_dirty:
+            targets.add(state.find_mapped_cache_page())
+        pa = self._pa_base(ppage)
+        for cp in sorted(targets):
+            self.machine.dcache.purge_page_frame(cp, pa, Reason.EXPLICIT)
+        for ic in set(state.imapped.indices()) | set(state.istale.indices()):
+            self.machine.icache.purge_page_frame(ic, pa, Reason.EXPLICIT)
+        del self.page_states[ppage]
 
     def frame_freed(self, ppage: int) -> int | None:
         """Called when a frame returns to the free list; returns the color

@@ -108,3 +108,79 @@ class TestRecordOnlyMode:
             oracle.check_cpu_read(4 * i, 0)
         assert oracle.checks == 10
         assert oracle.clean
+
+    def test_record_only_toggles_mid_run(self):
+        # Each check consults the current flag, so a harness can record
+        # during a chaos window and fail fast outside it.
+        oracle = make_oracle(record_only=True)
+        oracle.note_cpu_write(0, 5)
+        oracle.check_cpu_read(0, 4)             # recorded, not raised
+        oracle.record_only = False
+        with pytest.raises(StaleDataError):
+            oracle.check_cpu_read(0, 4)         # same staleness now raises
+        oracle.record_only = True
+        oracle.check_cpu_read(0, 4)             # and records again
+        assert len(oracle.violations) == 3      # every check was recorded
+
+    def test_raised_violations_are_still_recorded(self):
+        oracle = make_oracle(record_only=False)
+        oracle.note_cpu_write(0, 5)
+        with pytest.raises(StaleDataError):
+            oracle.check_cpu_read(0, 4)
+        assert len(oracle.violations) == 1      # the audit trail survives
+
+
+class TestRunTracking:
+    def test_partial_run_checks_only_its_words(self):
+        # A run shorter than a page: staleness just past its end must not
+        # trigger (the run's window is [paddr, paddr + len*WORD_SIZE)).
+        oracle = make_oracle()
+        oracle.note_cpu_write(32, 99)           # stale word at offset 32
+        oracle.check_run_read(0, np.zeros(8, dtype=np.uint64))  # words 0..7
+        with pytest.raises(StaleDataError) as excinfo:
+            oracle.check_run_read(0, np.zeros(9, dtype=np.uint64))
+        assert excinfo.value.paddr == 32
+
+    def test_unaligned_partial_run(self):
+        oracle = make_oracle()
+        oracle.note_run_write(40, np.arange(4, dtype=np.uint64))
+        oracle.check_run_read(40, np.arange(4, dtype=np.uint64))
+        oracle.check_run_read(44, np.arange(1, 4, dtype=np.uint64))
+        with pytest.raises(StaleDataError) as excinfo:
+            oracle.check_run_read(44, np.arange(3, dtype=np.uint64))
+        assert excinfo.value.paddr == 44
+        assert excinfo.value.expected == 1
+
+    def test_checks_count_calls_not_words(self):
+        # Documented accounting: one page/run check = one tick of
+        # ``checks`` regardless of how many words it compared.
+        oracle = make_oracle(record_only=True)
+        oracle.check_run_read(0, np.zeros(100, dtype=np.uint64))
+        oracle.check_page_read(0, np.zeros(WPP, dtype=np.uint64))
+        oracle.check_dma_read(0, np.zeros(WPP, dtype=np.uint64))
+        oracle.check_cpu_read(0, 0)
+        assert oracle.checks == 4
+
+    def test_run_read_reports_first_stale_word_only(self):
+        oracle = make_oracle(record_only=True)
+        oracle.note_run_write(0, np.arange(4, dtype=np.uint64) + 1)
+        oracle.check_run_read(0, np.zeros(4, dtype=np.uint64))
+        assert len(oracle.violations) == 1      # one violation per check
+        assert oracle.violations[0].paddr == 0
+
+
+class TestExpectedPage:
+    def test_expected_page_reflects_program_order(self):
+        oracle = make_oracle()
+        values = np.arange(WPP, dtype=np.uint64) + 3
+        oracle.note_dma_write(1, values)
+        oracle.note_cpu_write(PAGE, 77)
+        expected = oracle.expected_page(PAGE)
+        assert expected[0] == 77
+        assert np.array_equal(expected[1:], values[1:])
+
+    def test_expected_page_is_a_copy(self):
+        oracle = make_oracle()
+        page = oracle.expected_page(0)
+        page[:] = 123
+        assert oracle.expected_word(0) == 0

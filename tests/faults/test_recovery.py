@@ -1,0 +1,202 @@
+"""The kernel's recovery paths under injected faults: bounded retry with
+clock-charged backoff, frame quarantine, TLB parity refill, fault-loop
+escalation, and structured error context."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (DiskIOError, DmaTransferError, FaultLoopError,
+                          KernelError)
+from repro.faults import FaultInjector, FaultPlan, FaultRule
+from repro.hw.params import MachineConfig
+from repro.kernel.disk import MAX_TRANSFER_ATTEMPTS, synthetic_block
+from repro.kernel.kernel import Kernel
+from repro.vm.policy import CONFIG_F
+
+
+def boot(*rules, seed=0, **kernel_kwargs):
+    kernel = Kernel(policy=CONFIG_F, config=MachineConfig(phys_pages=128),
+                    with_unix_server=False, buffer_cache_pages=8,
+                    **kernel_kwargs)
+    injector = FaultInjector(FaultPlan(seed=seed, rules=tuple(rules)),
+                             kernel.machine.clock)
+    injector.attach_kernel(kernel)
+    return kernel, injector
+
+
+class TestDiskRetry:
+    def test_transient_read_recovers_with_correct_data(self):
+        kernel, injector = boot(
+            FaultRule("disk.read.transient", max_fires=2, burst=1))
+        kernel.disk.preload(1, 1)
+        frame = kernel.buffer_cache.read_block(1, 0)
+        wpp = kernel.machine.memory.words_per_page
+        assert np.array_equal(kernel.machine.memory.read_page(frame),
+                              synthetic_block(1, 0, wpp))
+        assert kernel.disk.retries >= 1
+        assert kernel.machine.counters.disk_retries == kernel.disk.retries
+        recovered = injector.records("disk.read.transient")
+        assert all(r.resolution == "recovered" for r in recovered)
+
+    def test_transient_write_recovers_onto_the_platter(self):
+        kernel, injector = boot(
+            FaultRule("disk.write.transient", max_fires=1))
+        kernel.disk.preload(1, 1)
+        frame = kernel.buffer_cache.read_block(1, 0)
+        wpp = kernel.machine.memory.words_per_page
+        fresh = np.full(wpp, 7, dtype=np.uint64)
+        kernel.machine.memory.write_words(
+            kernel.machine.memory.page_base(frame), fresh)
+        kernel.machine.oracle.note_page_write(
+            kernel.machine.memory.page_base(frame), fresh)
+        kernel.disk.write_block(1, 0, frame)
+        assert np.array_equal(kernel.disk.block(1, 0), fresh)
+        assert kernel.disk.retries == 1
+
+    def test_backoff_is_charged_to_the_simulated_clock(self):
+        def cycles_with(rules):
+            kernel, _ = boot(*rules)
+            kernel.disk.preload(1, 1)
+            kernel.buffer_cache.read_block(1, 0)
+            return kernel.machine.clock.cycles
+
+        clean = cycles_with([])
+        faulted = cycles_with(
+            [FaultRule("disk.read.transient", max_fires=2, burst=1)])
+        backoff = MachineConfig().cost.disk_retry_backoff
+        # Two absorbed retries charge at least backoff * (1 + 2) beyond
+        # the clean run (plus the re-issued preparation work).
+        assert faulted >= clean + 3 * backoff
+
+    def test_exhausted_budget_raises_with_attempts_and_context(self):
+        kernel, injector = boot(
+            FaultRule("disk.read.transient", burst=MAX_TRANSFER_ATTEMPTS,
+                      max_fires=1))
+        kernel.disk.preload(1, 1)
+        with pytest.raises(DiskIOError) as excinfo:
+            kernel.disk.read_block(1, 0, ppage=60)
+        error = excinfo.value
+        assert error.attempts == MAX_TRANSFER_ATTEMPTS
+        assert error.context["file_id"] == 1
+        assert error.context["ppage"] == 60
+        assert error.record.resolution == "detected"
+        assert kernel.disk.retries == MAX_TRANSFER_ATTEMPTS - 1
+
+    def test_missing_block_is_terminal_with_structured_context(self):
+        kernel, injector = boot(FaultRule("disk.read.missing", max_fires=1))
+        kernel.disk.preload(3, 1)
+        with pytest.raises(KernelError) as excinfo:
+            kernel.buffer_cache.read_block(3, 0)
+        assert excinfo.value.context == {"file_id": 3, "page": 0}
+        assert "file_id=3" in str(excinfo.value)
+        assert kernel.disk.retries == 0  # no retry for terminal faults
+
+
+class TestDmaTransferFaults:
+    def test_corrupt_transfer_is_status_detected_and_retried(self):
+        kernel, injector = boot(
+            FaultRule("dma.transfer.corrupt", max_fires=1))
+        kernel.disk.preload(1, 1)
+        frame = kernel.buffer_cache.read_block(1, 0)
+        # The retry re-ran the transfer: memory holds the true block and
+        # the corrupted delivery never escaped the device protocol.
+        wpp = kernel.machine.memory.words_per_page
+        assert np.array_equal(kernel.machine.memory.read_page(frame),
+                              synthetic_block(1, 0, wpp))
+        [record] = injector.records("dma.transfer.corrupt")
+        assert record.resolution == "recovered"
+        assert kernel.machine.oracle.clean
+
+    def test_partial_transfer_records_delivered_words(self):
+        kernel, injector = boot(
+            FaultRule("dma.transfer.partial", max_fires=1))
+        kernel.disk.preload(1, 1)
+        kernel.buffer_cache.read_block(1, 0)
+        [record] = injector.records("dma.transfer.partial")
+        assert 1 <= record.detail["words"] \
+            < kernel.machine.memory.words_per_page
+        assert record.resolution == "recovered"
+
+    def test_persistent_corruption_quarantines_the_frame(self):
+        # A frame that fails the whole retry budget is suspect hardware:
+        # the buffer cache retires it and satisfies the read from a fresh
+        # frame.  Enough consecutive fires to also kill one more single
+        # attempt would need 2 * budget; give exactly one budget's worth.
+        kernel, injector = boot(
+            FaultRule("dma.transfer.corrupt", burst=MAX_TRANSFER_ATTEMPTS,
+                      max_fires=1))
+        kernel.disk.preload(1, 1)
+        frame = kernel.buffer_cache.read_block(1, 0)
+        assert kernel.machine.counters.frames_quarantined == 1
+        [bad_frame] = kernel.quarantined
+        assert frame != bad_frame
+        wpp = kernel.machine.memory.words_per_page
+        assert np.array_equal(kernel.machine.memory.read_page(frame),
+                              synthetic_block(1, 0, wpp))
+
+    def test_quarantined_frame_never_reenters_circulation(self):
+        kernel, injector = boot()
+        frame = kernel.allocate_frame()
+        kernel.quarantine_frame(frame)
+        kernel.free_frame(frame)        # a stale release must be a no-op
+        drained = set()
+        while len(kernel.free_list):
+            drained.add(kernel.free_list.allocate())
+        assert frame not in drained
+
+
+class TestTlbParity:
+    def test_corrupt_entry_is_invalidated_and_refilled(self):
+        kernel, injector = boot(FaultRule("tlb.entry.corrupt", max_fires=1))
+        task = kernel.create_task("t")
+        vpage = task.allocate_anon(1)
+        task.write(vpage, 0, 9)         # populates the TLB
+        assert task.read(vpage, 0) == 9  # parity hit: refill, same value
+        assert task.read(vpage, 0) == 9
+        assert kernel.machine.counters.tlb_parity_recoveries == 1
+        [record] = injector.records("tlb.entry.corrupt")
+        assert record.resolution == "recovered"
+        assert kernel.machine.oracle.clean
+
+    def test_parity_recovery_is_charged(self):
+        def cycles_with(rules):
+            kernel, _ = boot(*rules)
+            task = kernel.create_task("t")
+            vpage = task.allocate_anon(1)
+            task.write(vpage, 0, 9)
+            for _ in range(4):
+                task.read(vpage, 0)
+            return kernel.machine.clock.cycles
+
+        clean = cycles_with([])
+        faulted = cycles_with([FaultRule("tlb.entry.corrupt", max_fires=2)])
+        assert faulted > clean
+
+
+class TestFaultLoop:
+    def test_bounded_stall_is_absorbed(self):
+        from repro.hw.machine import MAX_FAULT_RETRIES
+        kernel, injector = boot(
+            FaultRule("kernel.fault.stall", burst=MAX_FAULT_RETRIES - 1,
+                      max_fires=1))
+        task = kernel.create_task("t")
+        vpage = task.allocate_anon(1)
+        task.write(vpage, 0, 5)          # first access faults, stalls, retries
+        assert task.read(vpage, 0) == 5
+        assert injector.fired("kernel.fault.stall") == MAX_FAULT_RETRIES - 1
+        assert all(r.resolution == "retried"
+                   for r in injector.records("kernel.fault.stall"))
+
+    def test_unbounded_stall_escalates_with_diagnostics(self):
+        from repro.hw.machine import MAX_FAULT_RETRIES
+        kernel, injector = boot(FaultRule("kernel.fault.stall"))
+        task = kernel.create_task("t")
+        vpage = task.allocate_anon(1)
+        with pytest.raises(FaultLoopError) as excinfo:
+            task.write(vpage, 0, 5)
+        error = excinfo.value
+        assert error.context["asid"] == task.asid
+        assert error.context["attempts"] == MAX_FAULT_RETRIES
+        assert error.context["access"] == "write"
+        assert f"asid={task.asid}" in str(error)
+        assert "0x" in str(error)        # the faulting vaddr is rendered
