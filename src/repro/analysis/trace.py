@@ -174,3 +174,49 @@ class Tracer:
     def load_jsonl(path) -> list[dict]:
         with open(path) as handle:
             return [json.loads(line) for line in handle if line.strip()]
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """The first point where two traces disagree (None == identical)."""
+
+    index: int                 # first diverging event index
+    expected: dict | None      # golden event at that index (None: ran long)
+    actual: dict | None        # recorded event at that index (None: ran short)
+
+    def render(self) -> str:
+        def fmt(event):
+            if event is None:
+                return "<trace ends>"
+            detail = {k: v for k, v in sorted(event.items())
+                      if k not in ("seq", "cycles")}
+            return (f"[{event.get('cycles', '?'):>10}] "
+                    + " ".join(f"{k}={v}" for k, v in detail.items()))
+        return (f"first divergence at event {self.index}\n"
+                f"  expected: {fmt(self.expected)}\n"
+                f"  actual:   {fmt(self.actual)}")
+
+
+def _normalize(event) -> dict:
+    """Canonical comparison form: a TraceEvent or a loaded dict both
+    reduce to the same sorted-key dict (the to_json round trip)."""
+    if isinstance(event, TraceEvent):
+        return json.loads(event.to_json())
+    return dict(event)
+
+
+def diff_traces(expected, actual) -> TraceDiff | None:
+    """Compare two traces event by event; each side may be a list of
+    :class:`TraceEvent` or of dicts (as loaded from a golden ``.jsonl``).
+    Returns the first divergence, or None when the traces are identical
+    — including in length."""
+    for i, (want, got) in enumerate(zip(expected, actual)):
+        want, got = _normalize(want), _normalize(got)
+        if want != got:
+            return TraceDiff(i, want, got)
+    if len(expected) != len(actual):
+        i = min(len(expected), len(actual))
+        want = _normalize(expected[i]) if i < len(expected) else None
+        got = _normalize(actual[i]) if i < len(actual) else None
+        return TraceDiff(i, want, got)
+    return None

@@ -8,8 +8,11 @@ Usage::
     python -m repro table5 [--scale 1.0]
     python -m repro micro [--iterations 20000]
     python -m repro run <workload> [--policy F] [--scale 1.0]
-                                   [--inject PLAN --seed N]
+                                   [--inject PLAN --seed N] [--conform]
     python -m repro chaos [--plans 50] [--preset mixed] [--steps 200]
+    python -m repro conform [--sequences 200] [--seed 0] [--scale 0.25]
+                            [--mutant NAME]
+    python -m repro trace <workload> [--out FILE] [--diff GOLDEN]
     python -m repro all [--scale 1.0]
 
 Every command prints the regenerated table to stdout; ``run`` executes a
@@ -17,7 +20,12 @@ single workload under a named policy configuration and prints the
 counters the tables are built from.  ``--inject`` arms the deterministic
 fault injector for the run (see docs/fault-injection.md for the plan
 grammar); ``chaos`` runs the detected-or-harmless harness over a batch of
-seeded random fault plans.
+seeded random fault plans.  ``conform`` runs the lockstep conformance
+engine (see docs/conformance.md): an explorer sweep, an arc-coverage run,
+and live shadowing of the paper workloads — or, with ``--mutant``,
+demonstrates detection and shrinking against a seeded bug.  ``trace``
+records a workload's consistency event trace, optionally writing it as
+JSON lines or diffing it against a golden artifact.
 """
 
 from __future__ import annotations
@@ -34,8 +42,11 @@ from repro.analysis.experiments import (DEFAULT_SCALE, evaluation_machine,
 from repro.analysis.tables import (render_micro, render_overhead_summary,
                                    render_table1, render_table4)
 from repro.core.transitions import render_table2
-from repro.errors import ReproError
+from repro.errors import ConformanceError, ReproError
 from repro.vm.policy import by_name
+
+#: the workload names the evaluation (and the golden traces) cover.
+WORKLOAD_NAMES = ("afs-bench", "latex-paper", "kernel-build")
 
 
 def _cmd_table1(args) -> None:
@@ -69,19 +80,36 @@ def _cmd_micro(args) -> None:
 
 def _cmd_run(args) -> None:
     policy = by_name(args.policy)
-    kernel = injector = None
-    if args.inject:
-        from repro.faults import FaultInjector, FaultPlan
+    kernel = injector = monitor = None
+    if args.inject or getattr(args, "conform", False):
         from repro.kernel.kernel import Kernel
 
-        plan = FaultPlan.parse(args.inject, seed=args.seed)
         kernel = Kernel(policy=policy, config=evaluation_machine())
+    if args.inject:
+        from repro.faults import FaultInjector, FaultPlan
+
+        plan = FaultPlan.parse(args.inject, seed=args.seed)
         injector = FaultInjector(plan, kernel.machine.clock)
         injector.attach_kernel(kernel)
+    if getattr(args, "conform", False):
+        from repro.conformance import ConformanceMonitor
+
+        # Under injection divergences are *expected*: record them for the
+        # end-of-run report instead of failing fast.
+        monitor = ConformanceMonitor(kernel,
+                                     record_only=injector is not None)
+        monitor.attach()
     try:
         metrics = run_workload(make_workload(args.workload, args.scale),
                                policy, config=evaluation_machine(),
                                kernel=kernel)
+    except ConformanceError as exc:
+        print(f"{args.workload} under configuration {policy.name}: "
+              f"lockstep divergence from the Table 2 model")
+        print(f"  {type(exc).__name__}: {exc}")
+        for event in exc.prefix[-10:]:
+            print(f"    {event}")
+        raise SystemExit(1)
     except ReproError as exc:
         if injector is None:
             raise
@@ -91,6 +119,9 @@ def _cmd_run(args) -> None:
         for record in injector.audit:
             print(f"    {record}")
         raise SystemExit(1)
+    finally:
+        if monitor is not None:
+            monitor.detach()
     print(f"{metrics.workload_name} under configuration {policy.name} "
           f"({policy.description}):")
     print(f"  elapsed:            {metrics.seconds:.4f}s "
@@ -112,6 +143,10 @@ def _cmd_run(args) -> None:
               f"(plan seed {args.seed})")
         for record in injector.audit:
             print(f"    {record}")
+    if monitor is not None:
+        print(f"  conformance:        {monitor.summary()}")
+        for divergence in monitor.divergences:
+            print(f"    {divergence}")
 
 
 def _cmd_chaos(args) -> None:
@@ -127,6 +162,94 @@ def _cmd_chaos(args) -> None:
     print(render_suite(reports))
     if any(not r.ok for r in reports):
         raise SystemExit(1)
+
+
+def _cmd_conform(args) -> None:
+    from repro.conformance import (ArcCoverage, ConformanceMonitor, Explorer,
+                                   apply_mutant)
+    from repro.kernel.kernel import Kernel
+
+    if args.mutant:
+        with apply_mutant(args.mutant):
+            report = Explorer(num_cache_pages=args.cache_pages,
+                              seed=args.seed).explore(args.sequences)
+        print(report.render())
+        if report.ok:
+            print(f"mutant {args.mutant}: NOT DETECTED")
+            raise SystemExit(1)
+        first = min(ce.events_until_detection
+                    for ce in report.counterexamples)
+        shortest = min(len(ce.shrunk) for ce in report.counterexamples)
+        print(f"mutant {args.mutant}: detected (first after {first} events, "
+              f"shortest shrunk witness {shortest} events)")
+        return
+
+    failed = False
+
+    # 1. The seeded sweep: many deep sequences, zero divergences expected.
+    sweep = Explorer(num_cache_pages=args.cache_pages,
+                     seed=args.seed).explore(args.sequences)
+    print(sweep.render())
+    failed |= not sweep.ok
+
+    # 2. The arc-coverage run: keep going until all 48 arcs are seen.
+    cover = Explorer(num_cache_pages=args.cache_pages,
+                     seed=args.seed + 1).explore_until_covered()
+    print(f"coverage run: all arcs after {cover.sequences} sequences / "
+          f"{cover.events} events")
+    failed |= not (cover.ok and cover.coverage.complete)
+
+    # 3. Live shadowing of the paper workloads.
+    policy = by_name(args.policy)
+    merged = ArcCoverage()
+    merged.merge(sweep.coverage)
+    merged.merge(cover.coverage)
+    for name in WORKLOAD_NAMES:
+        kernel = Kernel(policy=policy, config=evaluation_machine(),
+                        buffer_cache_pages=48)
+        with ConformanceMonitor(kernel, record_only=True) as monitor:
+            run_workload(make_workload(name, args.scale), policy,
+                         kernel=kernel)
+        summary = monitor.summary()
+        print(f"{name:>12}: {summary}")
+        merged.merge(monitor.coverage)
+        failed |= not monitor.ok
+        for divergence in monitor.divergences:
+            print(f"              {divergence}")
+
+    print(f"combined {merged.summary()}")
+    if failed:
+        print("verdict: DIVERGED from the Table 2 model")
+        raise SystemExit(1)
+    print("verdict: conforms to the Table 2 model")
+
+
+def _cmd_trace(args) -> None:
+    from repro.analysis.trace import Tracer, diff_traces
+    from repro.kernel.kernel import Kernel
+
+    policy = by_name(args.policy)
+    kernel = Kernel(policy=policy, config=evaluation_machine(),
+                    buffer_cache_pages=48)
+    with Tracer(kernel) as tracer:
+        run_workload(make_workload(args.workload, args.scale), policy,
+                     kernel=kernel)
+    print(f"{args.workload} under configuration {policy.name}: "
+          f"{len(tracer.events)} events")
+    summary = tracer.summary()
+    for kind in sorted(k for k in summary if ":" not in k):
+        print(f"  {kind:<10} {summary[kind]}")
+    if args.out:
+        count = tracer.to_jsonl(args.out)
+        print(f"wrote {count} events to {args.out}")
+    if args.diff:
+        golden = Tracer.load_jsonl(args.diff)
+        diff = diff_traces(golden, tracer.events)
+        if diff is not None:
+            print(f"trace DIVERGES from {args.diff}:")
+            print(diff.render())
+            raise SystemExit(1)
+        print(f"trace matches {args.diff} ({len(golden)} events)")
 
 
 def _cmd_all(args) -> None:
@@ -183,6 +306,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(see docs/fault-injection.md)")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for the fault plan's RNG")
+    p.add_argument("--conform", action="store_true",
+                   help="shadow the run with the lockstep conformance "
+                        "monitor (record-only when --inject is armed)")
 
     p = add("chaos", _cmd_chaos,
             "detected-or-harmless harness over random fault plans")
@@ -195,6 +321,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stressor steps per run")
     p.add_argument("--seed", type=int, default=0,
                    help="first seed of the batch")
+
+    p = add("conform", _cmd_conform,
+            "lockstep conformance engine against the Table 2 model")
+    p.add_argument("--sequences", type=int, default=200,
+                   help="explorer sequences in the sweep")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache-pages", type=int, default=3,
+                   help="cache pages in the explorer's machine")
+    p.add_argument("--policy", default="F",
+                   help="configuration for the workload shadowing")
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="workload scale for the shadowing runs")
+    p.add_argument("--mutant", choices=["skip-dma-read-flush",
+                                        "drop-stale-on-dma-write",
+                                        "unconditional-will-overwrite"],
+                   help="install a seeded bug and demonstrate detection")
+
+    p = add("trace", _cmd_trace,
+            "record a workload's consistency event trace")
+    p.add_argument("workload", choices=list(WORKLOAD_NAMES))
+    p.add_argument("--policy", default="F")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--out", metavar="FILE",
+                   help="write the trace as JSON lines")
+    p.add_argument("--diff", metavar="GOLDEN",
+                   help="diff against a golden .jsonl trace; exit 1 and "
+                        "pinpoint the first diverging event on mismatch")
 
     p = add("all", _cmd_all, "everything")
     p.add_argument("--scale", type=float, default=DEFAULT_SCALE)

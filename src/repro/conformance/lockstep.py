@@ -1,0 +1,360 @@
+"""The lockstep conformance engine: shadow a running kernel with the
+Table 2 model.
+
+A :class:`ConformanceMonitor` attaches to a booted kernel the way the
+tracer does — pure observation, no behaviour, cost or counter changes —
+but at the *hardware* boundary: every data-cache access (word, run, and
+page granularity), every data-cache flush/purge, and every DMA transfer
+is replayed through one :class:`~repro.core.model.ConsistencyModel` per
+physical frame.  Wrapping the cache rather than the pmap callbacks means
+*every* path that touches a line is observed, including the quarantine
+and uncached-conversion sweeps that bypass the callback layer.
+
+Two judgments run at every CPU/DMA access (never at flush/purge
+instants, where the implementation state is legitimately mid-transition):
+
+* **missed action** — replaying the access through the model must demand
+  no consistency action: a correct implementation discharged them all
+  (observed as flush/purge events) before the access reached the cache.
+  One exemption mirrors optimization F: a full-page write may skip the
+  purge of its stale *target* page, because the write-allocate overwrites
+  every word the purge would have discarded.
+* **state divergence** — the bookkeeping (Table 3, folding pending
+  hardware modified bits) must agree with the model wherever disagreement
+  is dangerous: a model-STALE line must be implementation-STALE (anything
+  else can silently deliver stale data), and a model-DIRTY line must be
+  implementation-DIRTY (anything else can skip a needed flush).  In the
+  other direction the implementation may be *pessimistic* — e.g. PRESENT
+  where the model says EMPTY after a flush (Figure 1 keeps ``mapped``
+  set), or STALE where the model says EMPTY after a flush-instead-of-
+  purge — which is sound and left alone.
+
+A divergence raises a structured
+:class:`~repro.errors.ConformanceError` carrying the observed event
+prefix for replay, or is recorded when ``record_only`` is set (the chaos
+harness shadows fault plans this way and attributes divergences to
+injected faults afterwards).  Arc coverage is tracked against
+*pre-action* states (see :mod:`repro.conformance.coverage`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.conformance.coverage import ArcCoverage
+from repro.core.model import ConsistencyModel
+from repro.core.page_state import PhysPageState
+from repro.core.states import LineState, MemoryOp
+from repro.errors import ConformanceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class ObservedEvent:
+    """One event the monitor replayed through the model."""
+
+    seq: int
+    cycles: int
+    op: MemoryOp
+    frame: int
+    cache_page: int | None     # None for DMA transfers
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = (f"frame {self.frame}" if self.cache_page is None
+                 else f"frame {self.frame} cache page {self.cache_page}")
+        return f"#{self.seq} [{self.cycles}] {self.op} {where}"
+
+
+@dataclass
+class Divergence:
+    """One disagreement between the simulator and the model."""
+
+    seq: int
+    kind: str                  # "missed-action" | "state-divergence"
+    frame: int
+    cache_page: int | None
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"event #{self.seq}: {self.kind} on frame {self.frame}"
+                + (f" cache page {self.cache_page}"
+                   if self.cache_page is not None else "")
+                + f": {self.detail}")
+
+
+def effective_decode(state: PhysPageState, cache_page: int) -> LineState:
+    """Table 3 decoding with pending hardware modified bits folded in.
+
+    An unfaulted store through a writable mapping sets the mapping's
+    modified bit; ``sync_modified`` folds it into ``cache_dirty`` at the
+    next policy entry (Section 4.1).  Between the two the line is already
+    physically dirty, so the conformance comparison treats it as DIRTY.
+    """
+    if state.stale[cache_page]:
+        return LineState.STALE
+    for mapping in state.mappings:
+        if mapping.modified and state.cache_page_of(mapping.vpage) == cache_page:
+            return LineState.DIRTY
+    return state.decode(cache_page)
+
+
+@dataclass
+class ConformanceSummary:
+    """What one shadowed run exercised (for stats/experiments reporting)."""
+
+    events: int
+    frames: int
+    divergences: int
+    coverage_percent: float
+    uncovered: list = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = ("no divergences" if not self.divergences
+                   else f"{self.divergences} DIVERGENCES")
+        return (f"{self.events} events over {self.frames} frames, {verdict}, "
+                f"arc coverage {self.coverage_percent:.1f}%")
+
+
+class ConformanceMonitor:
+    """Attachable lockstep differential oracle for one kernel.
+
+    Args:
+        kernel: the booted kernel to shadow.  Attaching after boot is
+            sound: the model starts all-EMPTY, which demands nothing and
+            forbids nothing, so pre-attach history can only *hide*
+            obligations, never invent them.
+        record_only: collect divergences instead of raising on the first.
+        max_events: bound the replay log (a deque keeps the most recent
+            events for the error prefix); None keeps everything.
+    """
+
+    def __init__(self, kernel: "Kernel", record_only: bool = False,
+                 max_events: int | None = 4096):
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.page_size = self.machine.page_size
+        self.words_per_page = self.machine.memory.words_per_page
+        self.ncp = self.machine.dcache.geo.num_cache_pages
+        self.record_only = record_only
+        self.models: dict[int, ConsistencyModel] = {}
+        self.coverage = ArcCoverage()
+        self.events: deque[ObservedEvent] = deque(maxlen=max_events)
+        self.events_seen = 0
+        self.divergences: list[Divergence] = []
+        # Pre-action state snapshots: frame -> model states at the first
+        # flush/purge observed since the frame's last access (coverage
+        # attributes access arcs to the state *before* its actions).
+        self._pre_action: dict[int, list[LineState]] = {}
+        # One divergence per (frame, kind): a lost flush would otherwise
+        # re-report at every subsequent access of the frame.
+        self._reported: set[tuple[int, str]] = set()
+        self._originals: dict[str, object] = {}
+        self._attached = False
+
+    # ---- attachment ------------------------------------------------------------
+
+    def attach(self) -> "ConformanceMonitor":
+        """Install the observation wrappers (idempotent)."""
+        if self._attached:
+            return self
+        dcache = self.machine.dcache
+        dma = self.machine.dma
+        self._originals = {
+            "read": dcache.read, "write": dcache.write,
+            "read_run": dcache.read_run, "write_run": dcache.write_run,
+            "read_page": dcache.read_page, "write_page": dcache.write_page,
+            "zero_page": dcache.zero_page,
+            "flush_page_frame": dcache.flush_page_frame,
+            "purge_page_frame": dcache.purge_page_frame,
+            "dma_read": dma.dma_read, "dma_write": dma.dma_write,
+        }
+        orig = self._originals
+
+        def read(vaddr, paddr):
+            self._on_access(MemoryOp.CPU_READ, vaddr, paddr)
+            return orig["read"](vaddr, paddr)
+
+        def write(vaddr, paddr, value):
+            self._on_access(MemoryOp.CPU_WRITE, vaddr, paddr)
+            return orig["write"](vaddr, paddr, value)
+
+        def read_run(vaddr, paddr, n_words):
+            self._on_access(MemoryOp.CPU_READ, vaddr, paddr)
+            return orig["read_run"](vaddr, paddr, n_words)
+
+        def write_run(vaddr, paddr, values):
+            self._on_access(MemoryOp.CPU_WRITE, vaddr, paddr,
+                            full_page=(paddr % self.page_size == 0
+                                       and len(values) == self.words_per_page))
+            return orig["write_run"](vaddr, paddr, values)
+
+        def read_page(va_page_base, pa_page_base):
+            self._on_access(MemoryOp.CPU_READ, va_page_base, pa_page_base)
+            return orig["read_page"](va_page_base, pa_page_base)
+
+        def write_page(va_page_base, pa_page_base, values):
+            self._on_access(MemoryOp.CPU_WRITE, va_page_base, pa_page_base,
+                            full_page=True)
+            return orig["write_page"](va_page_base, pa_page_base, values)
+
+        def zero_page(va_page_base, pa_page_base):
+            self._on_access(MemoryOp.CPU_WRITE, va_page_base, pa_page_base,
+                            full_page=True)
+            return orig["zero_page"](va_page_base, pa_page_base)
+
+        def flush_page_frame(cache_page, pa_page_base, reason):
+            self._on_cache_op(MemoryOp.FLUSH, cache_page, pa_page_base)
+            return orig["flush_page_frame"](cache_page, pa_page_base, reason)
+
+        def purge_page_frame(cache_page, pa_page_base, reason):
+            self._on_cache_op(MemoryOp.PURGE, cache_page, pa_page_base)
+            return orig["purge_page_frame"](cache_page, pa_page_base, reason)
+
+        def dma_read(ppage):
+            self._on_dma(MemoryOp.DMA_READ, ppage)
+            return orig["dma_read"](ppage)
+
+        def dma_write(ppage, values):
+            self._on_dma(MemoryOp.DMA_WRITE, ppage)
+            return orig["dma_write"](ppage, values)
+
+        dcache.read, dcache.write = read, write
+        dcache.read_run, dcache.write_run = read_run, write_run
+        dcache.read_page, dcache.write_page = read_page, write_page
+        dcache.zero_page = zero_page
+        dcache.flush_page_frame = flush_page_frame
+        dcache.purge_page_frame = purge_page_frame
+        dma.dma_read, dma.dma_write = dma_read, dma_write
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        dcache = self.machine.dcache
+        dma = self.machine.dma
+        for name in ("read", "write", "read_run", "write_run", "read_page",
+                     "write_page", "zero_page", "flush_page_frame",
+                     "purge_page_frame"):
+            setattr(dcache, name, self._originals[name])
+        dma.dma_read = self._originals["dma_read"]
+        dma.dma_write = self._originals["dma_write"]
+        self._attached = False
+
+    def __enter__(self) -> "ConformanceMonitor":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # ---- model plumbing ---------------------------------------------------------
+
+    def model_of(self, frame: int) -> ConsistencyModel:
+        model = self.models.get(frame)
+        if model is None:
+            model = ConsistencyModel(self.ncp)
+            self.models[frame] = model
+        return model
+
+    def _log(self, op: MemoryOp, frame: int,
+             cache_page: int | None) -> int:
+        seq = self.events_seen
+        self.events.append(ObservedEvent(seq, self.machine.clock.cycles,
+                                         op, frame, cache_page))
+        self.events_seen += 1
+        return seq
+
+    # ---- observations -----------------------------------------------------------
+
+    def _on_cache_op(self, op: MemoryOp, cache_page: int,
+                     pa_page_base: int) -> None:
+        frame = pa_page_base // self.page_size
+        model = self.model_of(frame)
+        if frame not in self._pre_action:
+            self._pre_action[frame] = list(model.states)
+        self.coverage.record_event(op, model.states, cache_page)
+        model.apply(op, cache_page)
+        self._log(op, frame, cache_page)
+
+    def _on_dma(self, op: MemoryOp, frame: int) -> None:
+        self._check_access(op, frame, None, full_page=False)
+
+    def _on_access(self, op: MemoryOp, vaddr: int, paddr: int,
+                   full_page: bool = False) -> None:
+        frame = paddr // self.page_size
+        cache_page = self.machine.dcache.cache_page_of(vaddr, paddr)
+        self._check_access(op, frame, cache_page, full_page)
+
+    def _check_access(self, op: MemoryOp, frame: int,
+                      cache_page: int | None, full_page: bool) -> None:
+        model = self.model_of(frame)
+        pre = self._pre_action.pop(frame, None)
+        if pre is None:
+            pre = list(model.states)
+        required = model.apply(op, cache_page)
+        self.coverage.record_event(op, pre, cache_page)
+        seq = self._log(op, frame, cache_page)
+
+        missing = [a for a in required
+                   if not (full_page and op is MemoryOp.CPU_WRITE
+                           and a.cache_page == cache_page)]
+        if missing:
+            self._diverge(seq, "missed-action", frame, cache_page,
+                          f"{op} proceeded although the model still "
+                          f"requires {', '.join(map(str, missing))}")
+            return
+        self._check_states(seq, frame, model)
+
+    def _check_states(self, seq: int, frame: int,
+                      model: ConsistencyModel) -> None:
+        """The dangerous-direction state comparison (model S => impl S,
+        model D => impl effective-D); only model-S/D lines can disagree
+        dangerously, so only those are compared."""
+        state = self.kernel.pmap.page_states.get(frame)
+        if state is None or state.uncached:
+            return  # no bookkeeping to compare (quarantined / uncached)
+        for c, model_state in enumerate(model.states):
+            if model_state is LineState.PRESENT or model_state is LineState.EMPTY:
+                continue
+            impl = effective_decode(state, c)
+            if impl is not model_state:
+                self._diverge(
+                    seq, "state-divergence", frame, c,
+                    f"model says {model_state.name} but the implementation "
+                    f"decodes {impl.name} (mapped={state.mapped[c]}, "
+                    f"stale={state.stale[c]}, dirty={state.cache_dirty})")
+                return
+
+    def _diverge(self, seq: int, kind: str, frame: int,
+                 cache_page: int | None, detail: str) -> None:
+        key = (frame, kind)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        divergence = Divergence(seq, kind, frame, cache_page, detail)
+        self.divergences.append(divergence)
+        if self.record_only:
+            return
+        raise ConformanceError(
+            f"lockstep divergence: {detail} "
+            f"(replay prefix: {len(self.events)} of {self.events_seen} "
+            f"events retained)",
+            kind=kind, frame=frame, cache_page=cache_page, event_index=seq,
+            prefix=tuple(self.events))
+
+    # ---- reporting -------------------------------------------------------------
+
+    def summary(self) -> ConformanceSummary:
+        return ConformanceSummary(
+            events=self.events_seen, frames=len(self.models),
+            divergences=len(self.divergences),
+            coverage_percent=self.coverage.percent,
+            uncovered=self.coverage.uncovered())
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences

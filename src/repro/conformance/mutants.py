@@ -1,0 +1,78 @@
+"""Seeded mutants: deliberate consistency bugs the lockstep engine must
+catch.
+
+Each mutant patches :class:`~repro.core.cache_control.CacheControl` (the
+class, so the pmap's engine instance and the explorer's pair are both
+affected) with one of the classic ways a port of Figure 1 goes wrong:
+
+* ``skip-dma-read-flush`` — the DMA-read preparation forgets dirtiness,
+  so stanza 2 never flushes and the device reads memory that lags the
+  cache (the Section 2.4 hazard).
+* ``drop-stale-on-dma-write`` — stanza 4's ``stale |= mapped`` is lost
+  for DMA-writes: previously cached copies are unmapped but not marked
+  stale, so the bookkeeping decodes EMPTY where the model says STALE and
+  a later access can hit the stale resident line without a purge.
+* ``unconditional-will-overwrite`` — optimization F applied everywhere:
+  the stale-target purge of stanza 3 is skipped even for word accesses
+  that do not overwrite the whole page.
+
+The mutation tests assert the lockstep engine flags each of these within
+a bounded number of events and shrinks the witness to a short sequence.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.core.cache_control import CacheControl
+from repro.core.states import MemoryOp
+
+
+def _skip_dma_read_flush(original):
+    def patched(self, state, op, target_vpage=None, **kwargs):
+        if op is MemoryOp.DMA_READ:
+            state.cache_dirty = False   # forget dirtiness: no flush fires
+        return original(self, state, op, target_vpage, **kwargs)
+    return patched
+
+
+def _drop_stale_on_dma_write(original):
+    def patched(self, state, op, target_vpage=None, **kwargs):
+        if op is not MemoryOp.DMA_WRITE:
+            return original(self, state, op, target_vpage, **kwargs)
+        saved = state.stale
+        state.stale = saved.copy()      # stanza 4 marks a throwaway vector
+        try:
+            return original(self, state, op, target_vpage, **kwargs)
+        finally:
+            state.stale = saved
+    return patched
+
+
+def _unconditional_will_overwrite(original):
+    def patched(self, state, op, target_vpage=None, *, will_overwrite=False,
+                **kwargs):
+        return original(self, state, op, target_vpage, will_overwrite=True,
+                        **kwargs)
+    return patched
+
+
+MUTANTS = {
+    "skip-dma-read-flush": _skip_dma_read_flush,
+    "drop-stale-on-dma-write": _drop_stale_on_dma_write,
+    "unconditional-will-overwrite": _unconditional_will_overwrite,
+}
+
+
+@contextmanager
+def apply_mutant(name: str):
+    """Install one named mutant for the duration of the context."""
+    if name not in MUTANTS:
+        raise KeyError(f"unknown mutant {name!r}; "
+                       f"known: {', '.join(sorted(MUTANTS))}")
+    original = CacheControl.__call__
+    CacheControl.__call__ = MUTANTS[name](original)
+    try:
+        yield
+    finally:
+        CacheControl.__call__ = original

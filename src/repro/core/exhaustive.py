@@ -11,16 +11,27 @@ step three judgments are made:
    with a flush accepted where a purge is required, since a flush also
    removes the line.
 
-With 2 cache pages and depth 5 this checks 6^5 = 7,776 sequences ×
-5 steps exhaustively in well under a second; the benchmark runs depth 6.
-This is the strongest correctness statement in the repository short of a
-real proof: *no* event sequence within the bound can make the
-implementation skip a required consistency action.
+The walk is a depth-first search that shares common prefixes (one model
+and one engine state, snapshotted and restored around each branch) and
+deduplicates on the combined (model, engine) state: the judgments at a
+node depend only on the current state, so a subtree rooted at a state
+already explored with at least as much remaining depth cannot contain a
+new violation and is counted without being replayed.  That collapses the
+8^6 = 262,144 sequences of the depth-6 / 3-page default to a few hundred
+engine calls, so the full run stays well under a second.  This is the
+strongest correctness statement in the repository short of a real proof:
+*no* event sequence within the bound can make the implementation skip a
+required consistency action.
+
+The event alphabet is shared with the conformance explorer
+(:mod:`repro.conformance.explorer`), which extends it with explicit
+Purge/Flush events (``include_cache_ops=True``) — those rows of Table 2
+never require actions, so the exhaustive refinement check keeps the
+default alphabet of inconsistency-*creating* events.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 from repro.core.cache_control import CacheControl
@@ -29,20 +40,35 @@ from repro.core.page_state import PhysPageState
 from repro.core.states import Action, MemoryOp
 
 
-def event_alphabet(num_cache_pages: int) -> list[tuple[MemoryOp, int | None]]:
-    """All distinct events over ``num_cache_pages`` cache pages."""
+def event_alphabet(num_cache_pages: int, include_cache_ops: bool = False
+                   ) -> list[tuple[MemoryOp, int | None]]:
+    """All distinct events over ``num_cache_pages`` cache pages.
+
+    With ``include_cache_ops`` the alphabet also carries explicit Purge
+    and Flush events per cache page (the last two rows of Table 2), which
+    the conformance explorer drives directly at the page-state level.
+    """
     events: list[tuple[MemoryOp, int | None]] = []
     for op in (MemoryOp.CPU_READ, MemoryOp.CPU_WRITE):
         for target in range(num_cache_pages):
             events.append((op, target))
     events.append((MemoryOp.DMA_READ, None))
     events.append((MemoryOp.DMA_WRITE, None))
+    if include_cache_ops:
+        for op in (MemoryOp.PURGE, MemoryOp.FLUSH):
+            for target in range(num_cache_pages):
+                events.append((op, target))
     return events
 
 
 @dataclass
 class CheckReport:
-    """What an exhaustive run covered."""
+    """What an exhaustive run covered.
+
+    ``sequences`` counts complete depth-``depth`` event sequences whose
+    every step was judged (directly or via a deduplicated subtree);
+    ``steps`` counts the engine transitions actually executed.
+    """
 
     num_cache_pages: int
     depth: int
@@ -76,41 +102,83 @@ class _ActionCollector:
                 and (Action.FLUSH, cache_page) in self.performed)
 
 
-def check_all_sequences(num_cache_pages: int = 2, depth: int = 5,
-                        stop_at_first: bool = True) -> CheckReport:
-    """Enumerate every event sequence up to ``depth`` and check the three
+def check_all_sequences(num_cache_pages: int = 3, depth: int = 6,
+                        stop_at_first: bool = True,
+                        dedup: bool = True) -> CheckReport:
+    """Cover every event sequence up to ``depth`` and check the three
     judgments at every step.  Returns a report; ``ok`` means no sequence
-    violated anything."""
+    violated anything.  ``dedup=False`` disables the state deduplication
+    (every prefix is walked explicitly; used to validate the dedup)."""
     alphabet = event_alphabet(num_cache_pages)
     violations: list[str] = []
     sequences = 0
     steps = 0
-    for sequence in itertools.product(alphabet, repeat=depth):
-        sequences += 1
-        model = ConsistencyModel(num_cache_pages)
-        state = PhysPageState(0, num_cache_pages)
-        collector = _ActionCollector()
-        engine = CacheControl(collector.flush, collector.purge,
-                              collector.protect)
-        for position, (op, target) in enumerate(sequence):
+
+    model = ConsistencyModel(num_cache_pages)
+    state = PhysPageState(0, num_cache_pages)
+    collector = _ActionCollector()
+    engine = CacheControl(collector.flush, collector.purge,
+                          collector.protect)
+    path: list[tuple[MemoryOp, int | None]] = []
+    # (remaining depth, model states, mapped, stale, dirty) -> judged.
+    visited: set[tuple] = set()
+    fanout = len(alphabet)
+
+    def snapshot() -> tuple:
+        return (tuple(model.states), state.mapped._bits, state.stale._bits,
+                state.cache_dirty)
+
+    def restore(snap: tuple) -> None:
+        model.states = list(snap[0])
+        state.mapped._bits = snap[1]
+        state.stale._bits = snap[2]
+        state.cache_dirty = snap[3]
+
+    def visit(remaining: int) -> bool:
+        """Walk all suffixes of the current state; True aborts the search."""
+        nonlocal sequences, steps
+        if remaining == 0:
+            sequences += 1
+            return False
+        if dedup:
+            key = (remaining,) + snapshot()
+            if key in visited:
+                sequences += fanout ** remaining
+                return False
+            visited.add(key)
+        snap = snapshot()
+        for op, target in alphabet:
+            path.append((op, target))
             steps += 1
             required = model.apply(op, target)
             collector.performed.clear()
             engine(state, op, target if op.is_cpu else None,
                    need_data=(op is not MemoryOp.DMA_WRITE))
+            failed = False
             try:
                 model.validate()
                 state.validate()
             except Exception as error:  # structural invariant broken
-                violations.append(
-                    f"{sequence[:position + 1]}: invariant: {error}")
-                break
-            missing = [a for a in required
-                       if not collector.satisfied(a.action, a.cache_page)]
-            if missing:
-                violations.append(
-                    f"{sequence[:position + 1]}: engine skipped {missing}")
-                break
-        if violations and stop_at_first:
-            break
+                violations.append(f"{tuple(path)}: invariant: {error}")
+                failed = True
+            if not failed:
+                missing = [a for a in required
+                           if not collector.satisfied(a.action, a.cache_page)]
+                if missing:
+                    violations.append(
+                        f"{tuple(path)}: engine skipped {missing}")
+                    failed = True
+            if failed:
+                path.pop()
+                restore(snap)
+                if stop_at_first:
+                    return True
+                continue
+            if visit(remaining - 1):
+                return True
+            path.pop()
+            restore(snap)
+        return False
+
+    visit(depth)
     return CheckReport(num_cache_pages, depth, sequences, steps, violations)

@@ -55,6 +55,34 @@ class StaleDataError(ReproError):
         self.actual = actual
 
 
+class ConformanceError(ReproError):
+    """The lockstep conformance engine observed the simulator diverge from
+    the Table 2 model (see docs/conformance.md).
+
+    Either the implementation performed an access for which the model still
+    required a consistency action (``kind="missed-action"``), or the
+    bookkeeping state contradicts the model in a dangerous direction
+    (``kind="state-divergence"``: the model says a line is STALE or DIRTY
+    and the implementation disagrees).  Carries the observed event prefix
+    leading up to the divergence so the failure can be replayed.
+    """
+
+    def __init__(self, message: str, *, kind: str | None = None,
+                 frame: int | None = None, cache_page: int | None = None,
+                 event_index: int | None = None, prefix: tuple = ()):
+        rendered = _render_context({"kind": kind, "frame": frame,
+                                    "cache_page": cache_page,
+                                    "event": event_index})
+        super().__init__(f"{message} [{rendered}]" if rendered else message)
+        self.kind = kind
+        self.frame = frame
+        self.cache_page = cache_page
+        self.event_index = event_index
+        #: the observed events leading up to (and including) the divergence;
+        #: may be a bounded tail when the monitor caps its event log
+        self.prefix = tuple(prefix)
+
+
 class FaultLoopError(ReproError):
     """A memory access kept faulting after repeated resolution attempts,
     indicating a broken consistency policy or fault handler.

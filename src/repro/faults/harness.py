@@ -17,6 +17,10 @@ Concretely, :func:`verify_report` asserts, per run:
    :class:`~repro.errors.ReproError` subclass (fail-stop detection);
 2. *attribution* — every oracle violation lands on a frame some
    consistency injection targeted (the system itself adds no staleness);
+   likewise every divergence the lockstep conformance shadow records
+   lands on a frame a divergence-creating injection targeted — with no
+   such injection, the shadow must agree with the Table 2 model exactly
+   (see docs/conformance.md for the conformance/chaos interaction);
 3. *immediate detection* — a skipped DMA-read preparation that was
    consequential (memory truly lagged program order) is observed by the
    very next device read, unless that transfer itself failed and was
@@ -41,6 +45,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.conformance.lockstep import ConformanceMonitor
 from repro.errors import ReproError
 from repro.faults.injector import (CONSISTENCY_POINTS, DIVERGENCE_POINTS,
                                    FaultInjector, FaultPlan, FaultRule)
@@ -128,6 +133,9 @@ class ChaosReport:
     points_fired: Counter = field(default_factory=Counter)
     violations: int = 0
     unattributed_violations: int = 0
+    conform_events: int = 0           # events the lockstep shadow replayed
+    conform_divergences: int = 0
+    conform_unattributed: int = 0
     cycles: int = 0
     disk_retries: int = 0
     tlb_parity_recoveries: int = 0
@@ -145,6 +153,7 @@ class ChaosReport:
         end = "completed" if self.completed else f"stopped[{self.error}]"
         return (f"seed={self.seed} preset={self.preset} {end} "
                 f"inj={self.injections} viol={self.violations} "
+                f"conform={self.conform_divergences} "
                 f"retries={self.disk_retries} quarantined="
                 f"{self.frames_quarantined} cycles={self.cycles} {status}")
 
@@ -152,14 +161,21 @@ class ChaosReport:
 def run_chaos(seed: int, preset: str = "mixed", steps: int = 200,
               n_tasks: int = 3, n_pages: int = 4,
               policy: PolicyConfig = NEW_SYSTEM,
-              config: MachineConfig | None = None) -> ChaosReport:
+              config: MachineConfig | None = None,
+              conform: bool = True) -> ChaosReport:
     """One seeded chaos run over the witness workload; returns the report
-    with invariant verification already applied."""
+    with invariant verification already applied.  With ``conform`` the
+    lockstep conformance shadow records divergences alongside the value
+    oracle (see invariant 2 for how they are attributed)."""
     plan = build_plan(seed, preset)
     kernel = Kernel(policy=policy, config=config or chaos_machine(),
                     buffer_cache_pages=24)
     oracle = kernel.machine.oracle
     oracle.record_only = True
+    monitor = None
+    if conform:
+        monitor = ConformanceMonitor(kernel, record_only=True,
+                                     max_events=512).attach()
     injector = FaultInjector(plan, kernel.machine.clock)
     injector.attach_kernel(kernel)
 
@@ -182,6 +198,8 @@ def run_chaos(seed: int, preset: str = "mixed", steps: int = 200,
         deep_verified = _deep_verify_possible(injector)
         if deep_verified:
             _verify_final_state(kernel)
+    if monitor is not None:
+        monitor.detach()
 
     counters = kernel.machine.counters
     report = ChaosReport(
@@ -191,6 +209,8 @@ def run_chaos(seed: int, preset: str = "mixed", steps: int = 200,
                             for r in injector.audit),
         points_fired=Counter(r.point for r in injector.audit),
         violations=len(oracle.violations),
+        conform_events=monitor.events_seen if monitor else 0,
+        conform_divergences=len(monitor.divergences) if monitor else 0,
         cycles=kernel.machine.clock.cycles,
         disk_retries=counters.disk_retries,
         tlb_parity_recoveries=counters.tlb_parity_recoveries,
@@ -198,7 +218,7 @@ def run_chaos(seed: int, preset: str = "mixed", steps: int = 200,
         oracle_checks=oracle.checks,
         deep_verified=deep_verified,
     )
-    verify_report(report, injector, kernel)
+    verify_report(report, injector, kernel, monitor)
     return report
 
 
@@ -230,7 +250,8 @@ def _verify_final_state(kernel: Kernel) -> None:
 
 
 def verify_report(report: ChaosReport, injector: FaultInjector,
-                  kernel: Kernel) -> ChaosReport:
+                  kernel: Kernel,
+                  monitor: ConformanceMonitor | None = None) -> ChaosReport:
     """Apply the detected-or-harmless invariant; failures are appended to
     ``report.failures`` (empty list == the run upholds the invariant)."""
     oracle = kernel.machine.oracle
@@ -244,6 +265,21 @@ def verify_report(report: ChaosReport, injector: FaultInjector,
             report.failures.append(
                 f"violation at paddr {violation.paddr:#x} not attributable "
                 f"to any injected consistency fault")
+
+    # 2b. Conformance attribution: every divergence the lockstep shadow
+    # recorded must land on a frame a divergence-creating injection
+    # targeted; with no such injection the shadow must agree exactly.
+    if monitor is not None:
+        diverged_frames = {r.ppage for r in injector.audit
+                           if r.point in DIVERGENCE_POINTS
+                           and r.ppage is not None}
+        for divergence in monitor.divergences:
+            if divergence.frame not in diverged_frames:
+                report.conform_unattributed += 1
+                report.failures.append(
+                    f"conformance divergence on frame {divergence.frame} "
+                    f"({divergence.kind}) not attributable to any injected "
+                    f"divergence-creating fault")
 
     # 3. Immediate detection: a consequential skipped DMA-read preparation
     # is observed by the device read that follows it — unless that very
@@ -300,7 +336,9 @@ def render_suite(reports: list[ChaosReport]) -> str:
     for preset, group in sorted(by_preset.items()):
         injections = sum(r.injections for r in group)
         violations = sum(r.violations for r in group)
-        unattributed = sum(r.unattributed_violations for r in group)
+        unattributed = sum(r.unattributed_violations
+                           + r.conform_unattributed for r in group)
+        conform = sum(r.conform_divergences for r in group)
         retries = sum(r.disk_retries for r in group)
         quarantined = sum(r.frames_quarantined for r in group)
         parity = sum(r.tlb_parity_recoveries for r in group)
@@ -309,8 +347,9 @@ def render_suite(reports: list[ChaosReport]) -> str:
         total_failures += len(failed)
         lines.append(
             f"{preset:>12}: {len(group):4d} plans, {completed:4d} completed, "
-            f"{injections:5d} injections, {violations:4d} oracle-observed "
-            f"({unattributed} unattributed), {retries:4d} retries, "
+            f"{injections:5d} injections, {violations:4d} oracle-observed, "
+            f"{conform:4d} conform-observed ({unattributed} unattributed), "
+            f"{retries:4d} retries, "
             f"{parity:3d} TLB refills, {quarantined:2d} quarantined, "
             f"{len(failed)} invariant failures")
         for report in failed:

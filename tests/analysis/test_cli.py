@@ -9,9 +9,10 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("table1", "table2", "table4", "table5", "micro",
-                        "run", "all"):
+                        "run", "chaos", "conform", "trace", "all"):
             args = parser.parse_args(
-                [command] + (["latex-paper"] if command == "run" else []))
+                [command] + (["latex-paper"]
+                             if command in ("run", "trace") else []))
             assert args.command == command
 
     def test_requires_a_command(self):
@@ -68,3 +69,25 @@ class TestCommands:
                      "--workload", "latex-paper", "--chart"]) == 0
         out = capsys.readouterr().out
         assert "(F = flushes, P = purges)" in out
+
+    def test_run_conform_reports_the_shadow(self, capsys):
+        assert main(["run", "latex-paper", "--scale", "0.25",
+                     "--conform"]) == 0
+        out = capsys.readouterr().out
+        assert "conformance:" in out
+        assert "no divergences" in out
+
+    def test_conform_sweep_prints_coverage_and_verdict(self, capsys):
+        assert main(["conform", "--sequences", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "arc coverage:" in out
+        assert "verdict: conforms to the Table 2 model" in out
+        for name in ("afs-bench", "latex-paper", "kernel-build"):
+            assert name in out
+
+    def test_conform_mutant_demonstrates_detection(self, capsys):
+        assert main(["conform", "--mutant", "skip-dma-read-flush",
+                     "--sequences", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "detected" in out
+        assert "shrunk" in out

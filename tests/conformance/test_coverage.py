@@ -1,0 +1,85 @@
+"""Tests for Table 2 transition-arc coverage."""
+
+from repro.conformance.coverage import (ALL_ARCS, OTHER, TARGET, ArcCoverage,
+                                        arcs_of_event)
+from repro.core.states import LineState, MemoryOp
+
+
+class TestArcUniverse:
+    def test_forty_eight_cells(self):
+        # 6 operations x 4 states x 2 columns.
+        assert len(ALL_ARCS) == 48
+
+    def test_every_op_and_state_appears(self):
+        ops = {arc[0] for arc in ALL_ARCS}
+        states = {arc[1] for arc in ALL_ARCS}
+        assert ops == set(MemoryOp)
+        assert states == set(LineState)
+
+
+class TestArcsOfEvent:
+    def test_cpu_event_splits_target_and_other(self):
+        pre = [LineState.PRESENT, LineState.DIRTY, LineState.EMPTY]
+        arcs = arcs_of_event(MemoryOp.CPU_READ, pre, 1)
+        assert (MemoryOp.CPU_READ, LineState.DIRTY, TARGET) in arcs
+        assert (MemoryOp.CPU_READ, LineState.PRESENT, OTHER) in arcs
+        assert (MemoryOp.CPU_READ, LineState.EMPTY, OTHER) in arcs
+        assert not any(col == TARGET and state is not LineState.DIRTY
+                       for _, state, col in arcs)
+
+    def test_dma_event_covers_both_columns(self):
+        # "All cache lines that contain the physical address referenced
+        # by the DMA operation share the same transitions" (Table 2).
+        pre = [LineState.STALE, LineState.EMPTY]
+        arcs = arcs_of_event(MemoryOp.DMA_WRITE, pre, None)
+        for state in (LineState.STALE, LineState.EMPTY):
+            assert (MemoryOp.DMA_WRITE, state, TARGET) in arcs
+            assert (MemoryOp.DMA_WRITE, state, OTHER) in arcs
+
+
+class TestArcCoverage:
+    def test_starts_empty(self):
+        cov = ArcCoverage()
+        assert cov.percent == 0.0
+        assert not cov.complete
+        assert len(cov.uncovered()) == 48
+
+    def test_record_event_advances_coverage(self):
+        cov = ArcCoverage()
+        cov.record_event(MemoryOp.CPU_READ,
+                         [LineState.EMPTY, LineState.PRESENT], 0)
+        assert (MemoryOp.CPU_READ, LineState.EMPTY, TARGET) in cov.covered
+        assert (MemoryOp.CPU_READ, LineState.PRESENT, OTHER) in cov.covered
+        assert cov.percent > 0
+
+    def test_novel_arcs_shrink_as_coverage_grows(self):
+        cov = ArcCoverage()
+        pre = [LineState.EMPTY, LineState.EMPTY]
+        assert cov.novel_arcs(MemoryOp.CPU_WRITE, pre, 0)
+        cov.record_event(MemoryOp.CPU_WRITE, pre, 0)
+        assert not cov.novel_arcs(MemoryOp.CPU_WRITE, pre, 0)
+
+    def test_merge_unions_counts(self):
+        a, b = ArcCoverage(), ArcCoverage()
+        a.record(MemoryOp.CPU_READ, LineState.EMPTY, TARGET)
+        b.record(MemoryOp.CPU_READ, LineState.EMPTY, TARGET)
+        b.record(MemoryOp.PURGE, LineState.STALE, TARGET)
+        a.merge(b)
+        assert a.counts[(MemoryOp.CPU_READ, LineState.EMPTY, TARGET)] == 2
+        assert (MemoryOp.PURGE, LineState.STALE, TARGET) in a.covered
+
+    def test_complete_when_all_arcs_seen(self):
+        cov = ArcCoverage()
+        for arc in ALL_ARCS:
+            cov.record(*arc)
+        assert cov.complete
+        assert cov.percent == 100.0
+        assert cov.uncovered() == []
+        assert "48/48" in cov.summary()
+
+    def test_render_marks_uncovered_cells(self):
+        cov = ArcCoverage()
+        cov.record(MemoryOp.CPU_READ, LineState.EMPTY, TARGET)
+        table = cov.render()
+        assert "UNCOVERED" in table
+        assert "hit x1" in table

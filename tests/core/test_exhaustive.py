@@ -19,18 +19,45 @@ class TestAlphabet:
         assert (MemoryOp.DMA_READ, None) in event_alphabet(2)
         assert (MemoryOp.DMA_WRITE, None) in event_alphabet(2)
 
+    def test_cache_ops_extend_the_alphabet(self):
+        # The conformance explorer's alphabet adds Purge and Flush per
+        # cache page (the last two rows of Table 2).
+        assert len(event_alphabet(2, include_cache_ops=True)) == 10
+        assert len(event_alphabet(3, include_cache_ops=True)) == 14
+        assert (MemoryOp.PURGE, 1) in event_alphabet(2,
+                                                     include_cache_ops=True)
+        assert (MemoryOp.FLUSH, 0) in event_alphabet(2,
+                                                     include_cache_ops=True)
+
+    def test_default_alphabet_has_no_cache_ops(self):
+        assert all(op not in (MemoryOp.PURGE, MemoryOp.FLUSH)
+                   for op, _ in event_alphabet(3))
+
 
 class TestExhaustiveResult:
+    def test_default_depth_six_three_pages_is_clean(self):
+        # The headline exhaustive statement: every one of the 8^6 event
+        # sequences is judged, and none makes the engine skip an action.
+        report = check_all_sequences()
+        assert report.ok, report.violations[:3]
+        assert report.num_cache_pages == 3
+        assert report.depth == 6
+        assert report.sequences == 8 ** 6
+        # State dedup collapses the walk far below the naive step count.
+        assert report.steps < 8 ** 6
+
     def test_depth_four_two_pages_is_clean(self):
         report = check_all_sequences(num_cache_pages=2, depth=4)
         assert report.ok, report.violations[:3]
         assert report.sequences == 6 ** 4
-        assert report.steps == 6 ** 4 * 4
 
-    def test_depth_three_three_pages_is_clean(self):
-        report = check_all_sequences(num_cache_pages=3, depth=3)
-        assert report.ok
-        assert report.sequences == 8 ** 3
+    def test_dedup_matches_the_naive_walk(self):
+        fast = check_all_sequences(num_cache_pages=2, depth=4)
+        naive = check_all_sequences(num_cache_pages=2, depth=4, dedup=False)
+        assert naive.sequences == fast.sequences == 6 ** 4
+        assert naive.steps == sum(6 ** d for d in range(1, 5))
+        assert naive.steps > fast.steps
+        assert naive.ok and fast.ok
 
     def test_report_counts(self):
         report = check_all_sequences(num_cache_pages=2, depth=2)
@@ -40,7 +67,8 @@ class TestExhaustiveResult:
 
 
 class TestCheckerDetectsBugs:
-    def test_a_broken_engine_is_caught(self, monkeypatch):
+    @pytest.mark.parametrize("dedup", [True, False])
+    def test_a_broken_engine_is_caught(self, monkeypatch, dedup):
         # Sabotage the engine so it never flushes: the checker must find a
         # sequence where the model's required flush was skipped.
         original_call = CacheControl.__call__
@@ -53,6 +81,6 @@ class TestCheckerDetectsBugs:
             return original_call(self, state, op, target_vpage, **kwargs)
 
         monkeypatch.setattr(CacheControl, "__call__", no_dirty)
-        report = check_all_sequences(num_cache_pages=2, depth=3)
+        report = check_all_sequences(num_cache_pages=2, depth=3, dedup=dedup)
         assert not report.ok
         assert "skipped" in report.violations[0]

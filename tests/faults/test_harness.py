@@ -139,9 +139,55 @@ class TestVerifier:
         assert skip.resolution == "masked-by-retry"
 
 
+class TestConformanceShadow:
+    def test_control_runs_shadow_clean(self):
+        # Without divergence-creating injections the lockstep shadow must
+        # agree with the Table 2 model exactly.
+        report = run_chaos(seed=0, preset="control", steps=STEPS)
+        assert report.ok
+        assert report.conform_events > 0
+        assert report.conform_divergences == 0
+        assert report.conform_unattributed == 0
+
+    def test_consistency_divergences_are_attributed(self):
+        # Dropped flushes/purges and skipped preparations make the shadow
+        # diverge — every divergence must land on an injected frame.
+        reports = run_chaos_suite(range(6), preset="consistency",
+                                  steps=STEPS)
+        assert all(r.ok for r in reports), render_suite(reports)
+        assert all(r.conform_unattributed == 0 for r in reports)
+        assert any(r.conform_divergences > 0 for r in reports), \
+            "no seed made the shadow diverge; the shadow may be blind"
+
+    def test_conform_can_be_disabled(self):
+        report = run_chaos(seed=0, preset="control", steps=40,
+                           conform=False)
+        assert report.ok
+        assert report.conform_events == 0
+
+    def test_unattributed_divergence_fails_the_run(self):
+        from repro.conformance.lockstep import ConformanceMonitor, Divergence
+
+        kernel = Kernel(policy=CONFIG_F, config=chaos_machine(),
+                        with_unix_server=False)
+        kernel.machine.oracle.record_only = True
+        injector = FaultInjector(FaultPlan(seed=0), kernel.machine.clock)
+        injector.attach_kernel(kernel)
+        monitor = ConformanceMonitor(kernel, record_only=True)
+        monitor.divergences.append(
+            Divergence(seq=0, kind="state-divergence", frame=9,
+                       cache_page=0, detail="fabricated"))
+        report = ChaosReport(seed=0, preset="unit", steps=0, completed=True,
+                             error=None, injections=0)
+        verify_report(report, injector, kernel, monitor)
+        assert not report.ok
+        assert report.conform_unattributed == 1
+
+
 class TestRendering:
     def test_suite_summary_carries_the_verdict(self):
         reports = run_chaos_suite(range(2), preset="control", steps=40)
         text = render_suite(reports)
         assert "control" in text
         assert "detected-or-harmless" in text
+        assert "conform-observed" in text

@@ -6,7 +6,7 @@ import importlib
 import pytest
 
 PACKAGES = ["repro", "repro.core", "repro.hw", "repro.vm", "repro.kernel",
-            "repro.workloads", "repro.analysis"]
+            "repro.workloads", "repro.analysis", "repro.conformance"]
 
 
 class TestPublicSurface:
