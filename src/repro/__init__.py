@@ -22,6 +22,9 @@ The package is layered bottom-up:
   Section 2.5 alignment microbenchmark and a random-operation stressor.
 * :mod:`repro.analysis` — the experiment harness regenerating every table
   in the paper's evaluation.
+* :mod:`repro.obs` — observability: the structured event bus, the
+  hierarchical cycle-attribution profiler, and the JSON/Prometheus
+  metrics exporter (see docs/observability.md).
 
 Quickstart::
 
@@ -39,6 +42,7 @@ from repro.hw.machine import Machine
 from repro.hw.params import (CacheGeometry, CostModel, MachineConfig,
                              small_machine)
 from repro.kernel.kernel import Kernel
+from repro.obs import CycleProfiler, EventBus, profile_run
 from repro.vm.policy import (CONFIG_GLOBAL, CONFIG_LADDER, NEW_SYSTEM,
                              OLD_SYSTEM, TABLE5_SYSTEMS, PolicyConfig,
                              by_name)
@@ -51,4 +55,5 @@ __all__ = [
     "NEW_SYSTEM", "by_name", "small_machine",
     "ReproError", "ConfigurationError", "KernelError", "ProtectionError",
     "StaleDataError",
+    "EventBus", "CycleProfiler", "profile_run",
 ]

@@ -9,10 +9,13 @@ Usage::
     python -m repro micro [--iterations 20000]
     python -m repro run <workload> [--policy F] [--scale 1.0]
                                    [--inject PLAN --seed N] [--conform]
+                                   [--trace-events FILE]
     python -m repro chaos [--plans 50] [--preset mixed] [--steps 200]
     python -m repro conform [--sequences 200] [--seed 0] [--scale 0.25]
                             [--mutant NAME]
     python -m repro trace <workload> [--out FILE] [--diff GOLDEN]
+    python -m repro metrics [workload|micro] [--format json|prom]
+    python -m repro profile <workload> [--policy F] [--scale 1.0]
     python -m repro all [--scale 1.0]
 
 Every command prints the regenerated table to stdout; ``run`` executes a
@@ -25,7 +28,13 @@ engine (see docs/conformance.md): an explorer sweep, an arc-coverage run,
 and live shadowing of the paper workloads — or, with ``--mutant``,
 demonstrates detection and shrinking against a seeded bug.  ``trace``
 records a workload's consistency event trace, optionally writing it as
-JSON lines or diffing it against a golden artifact.
+JSON lines or diffing it against a golden artifact.  ``metrics`` runs a
+workload (or the alignment microbenchmark) and exports the complete
+counter state as JSON or Prometheus text; ``profile`` runs a workload
+under the cycle-attribution profiler and prints the cycle flamegraph;
+``run --trace-events FILE`` streams the structured event bus (flushes,
+purges, faults, DMA, injections, divergences) to a JSONL file (see
+docs/observability.md).
 """
 
 from __future__ import annotations
@@ -80,11 +89,22 @@ def _cmd_micro(args) -> None:
 
 def _cmd_run(args) -> None:
     policy = by_name(args.policy)
-    kernel = injector = monitor = None
-    if args.inject or getattr(args, "conform", False):
+    trace_path = getattr(args, "trace_events", None)
+    kernel = injector = monitor = trace_file = None
+    if args.inject or getattr(args, "conform", False) or trace_path:
         from repro.kernel.kernel import Kernel
 
         kernel = Kernel(policy=policy, config=evaluation_machine())
+    trace_counts: dict[str, int] = {}
+    if trace_path:
+        bus = kernel.machine.bus.enable()
+        trace_file = open(trace_path, "w")
+
+        def _write_event(event):
+            trace_file.write(event.to_json() + "\n")
+            trace_counts[event.kind] = trace_counts.get(event.kind, 0) + 1
+
+        bus.subscribe(_write_event)
     if args.inject:
         from repro.faults import FaultInjector, FaultPlan
 
@@ -122,6 +142,13 @@ def _cmd_run(args) -> None:
     finally:
         if monitor is not None:
             monitor.detach()
+        if trace_file is not None:
+            trace_file.close()
+            total = sum(trace_counts.values())
+            summary = ", ".join(f"{kind}={n}" for kind, n
+                                in sorted(trace_counts.items()))
+            print(f"trace events: {total} written to {trace_path}"
+                  + (f" ({summary})" if summary else ""))
     print(f"{metrics.workload_name} under configuration {policy.name} "
           f"({policy.description}):")
     print(f"  elapsed:            {metrics.seconds:.4f}s "
@@ -252,6 +279,39 @@ def _cmd_trace(args) -> None:
         print(f"trace matches {args.diff} ({len(golden)} events)")
 
 
+def _cmd_metrics(args) -> None:
+    from repro.kernel.kernel import Kernel
+    from repro.obs import to_json, to_prometheus, verify_export
+    from repro.workloads.microbench import run_alias_write_loop
+
+    policy = by_name(args.policy)
+    kernel = Kernel(policy=policy, config=evaluation_machine(),
+                    buffer_cache_pages=48)
+    if args.target == "micro":
+        run_alias_write_loop(kernel, args.iterations, aligned=False)
+    else:
+        run_workload(make_workload(args.target, args.scale), policy,
+                     kernel=kernel)
+    counters, clock = kernel.machine.counters, kernel.machine.clock
+    # Every export is reconciled against the live counters before it is
+    # printed; a mismatch is a bug, not a report.
+    verify_export(counters, clock)
+    if args.format == "prom":
+        print(to_prometheus(counters, clock), end="")
+    else:
+        print(to_json(counters, clock))
+
+
+def _cmd_profile(args) -> None:
+    from repro.obs import profile_run
+
+    report = profile_run(args.workload, policy=by_name(args.policy),
+                         scale=args.scale)
+    print(report.render())
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def _cmd_all(args) -> None:
     _cmd_table1(args)
     print()
@@ -309,6 +369,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--conform", action="store_true",
                    help="shadow the run with the lockstep conformance "
                         "monitor (record-only when --inject is armed)")
+    p.add_argument("--trace-events", metavar="FILE", dest="trace_events",
+                   help="enable the structured event bus and stream every "
+                        "event (flushes, purges, faults, DMA, injections, "
+                        "divergences) to FILE as JSON lines")
 
     p = add("chaos", _cmd_chaos,
             "detected-or-harmless harness over random fault plans")
@@ -348,6 +412,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--diff", metavar="GOLDEN",
                    help="diff against a golden .jsonl trace; exit 1 and "
                         "pinpoint the first diverging event on mismatch")
+
+    p = add("metrics", _cmd_metrics,
+            "run a workload and export the complete counter state")
+    p.add_argument("target", nargs="?", default="micro",
+                   choices=list(WORKLOAD_NAMES) + ["micro"],
+                   help="workload to measure, or 'micro' for the "
+                        "alignment microbenchmark (default)")
+    p.add_argument("--format", default="json", choices=["json", "prom"],
+                   help="export format: JSON (default) or Prometheus text")
+    p.add_argument("--policy", default="F")
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="workload scale (ignored for 'micro')")
+    p.add_argument("--iterations", type=int, default=2_000,
+                   help="microbenchmark iterations (for 'micro')")
+
+    p = add("profile", _cmd_profile,
+            "cycle-attribution profile of one workload")
+    p.add_argument("workload", choices=list(WORKLOAD_NAMES))
+    p.add_argument("--policy", default="F")
+    p.add_argument("--scale", type=float, default=0.25)
 
     p = add("all", _cmd_all, "everything")
     p.add_argument("--scale", type=float, default=DEFAULT_SCALE)

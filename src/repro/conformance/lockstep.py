@@ -337,6 +337,10 @@ class ConformanceMonitor:
         self._reported.add(key)
         divergence = Divergence(seq, kind, frame, cache_page, detail)
         self.divergences.append(divergence)
+        bus = self.machine.bus
+        if bus is not None and bus.enabled:
+            bus.publish("divergence", divergence=kind, frame=frame,
+                        cache_page=cache_page, detail=detail)
         if self.record_only:
             return
         raise ConformanceError(

@@ -143,6 +143,9 @@ class ChaosReport:
     oracle_checks: int = 0
     deep_verified: bool = False       # final platter/memory sweep ran clean
     failures: list[str] = field(default_factory=list)
+    #: per-kind counts from the structured event bus (only populated when
+    #: the run was traced; injections and divergences appear here too)
+    event_summary: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -162,16 +165,21 @@ def run_chaos(seed: int, preset: str = "mixed", steps: int = 200,
               n_tasks: int = 3, n_pages: int = 4,
               policy: PolicyConfig = NEW_SYSTEM,
               config: MachineConfig | None = None,
-              conform: bool = True) -> ChaosReport:
+              conform: bool = True, trace: bool = False) -> ChaosReport:
     """One seeded chaos run over the witness workload; returns the report
     with invariant verification already applied.  With ``conform`` the
     lockstep conformance shadow records divergences alongside the value
-    oracle (see invariant 2 for how they are attributed)."""
+    oracle (see invariant 2 for how they are attributed).  With ``trace``
+    the structured event bus records the run, so every injection and
+    divergence is also a clock-stamped trace event
+    (``report.event_summary``)."""
     plan = build_plan(seed, preset)
     kernel = Kernel(policy=policy, config=config or chaos_machine(),
                     buffer_cache_pages=24)
     oracle = kernel.machine.oracle
     oracle.record_only = True
+    if trace:
+        kernel.machine.bus.enable()
     monitor = None
     if conform:
         monitor = ConformanceMonitor(kernel, record_only=True,
@@ -217,6 +225,7 @@ def run_chaos(seed: int, preset: str = "mixed", steps: int = 200,
         frames_quarantined=counters.frames_quarantined,
         oracle_checks=oracle.checks,
         deep_verified=deep_verified,
+        event_summary=kernel.machine.bus.summary() if trace else {},
     )
     verify_report(report, injector, kernel, monitor)
     return report

@@ -206,6 +206,9 @@ class FaultInjector:
         self.rng = random.Random(plan.seed)
         self.enabled = True
         self.audit: list[InjectionRecord] = []
+        # Observability: attach_kernel/attach pick up the machine's
+        # EventBus so every delivered injection doubles as a trace event.
+        self.bus = None
         self._rules_by_point: dict[str, list[tuple[FaultRule, _RuleState]]] = {}
         for rule in plan.rules:
             self._rules_by_point.setdefault(rule.point, []).append(
@@ -220,6 +223,7 @@ class FaultInjector:
         kernel.disk.injector = self
         kernel.machine.dma.injector = self
         kernel.machine.tlb.injector = self
+        self.bus = kernel.machine.bus
         return self
 
     def attach(self, *, pmap=None, disk=None, dma=None, tlb=None,
@@ -236,6 +240,12 @@ class FaultInjector:
             tlb.injector = self
         if kernel is not None:
             kernel.fault_injector = self
+            self.bus = kernel.machine.bus
+        elif self.bus is None:
+            for component in (dma, tlb):
+                if component is not None and getattr(component, "bus", None):
+                    self.bus = component.bus
+                    break
         return self
 
     # ---- scoping -----------------------------------------------------------
@@ -298,6 +308,9 @@ class FaultInjector:
         record = InjectionRecord(seq=len(self.audit), point=point,
                                  cycles=self.clock.cycles, detail=detail)
         self.audit.append(record)
+        if self.bus is not None and self.bus.enabled:
+            self.bus.publish("injection", point=point,
+                             injection_seq=record.seq, **detail)
         return record
 
     # ---- audit helpers -----------------------------------------------------

@@ -63,6 +63,10 @@ class Cache:
         self.counters = counters
         self.name = name
         self.is_icache = is_icache
+        # Observability: the machine attaches its EventBus here; standalone
+        # caches (unit tests) run without one.  Only the management
+        # operations publish — never the word/run/page access paths.
+        self.bus = None
 
         ways, sets = geometry.associativity, geometry.num_sets
         self._tags = np.full((ways, sets), _INVALID, dtype=np.int64)
@@ -409,6 +413,11 @@ class Cache:
                   + n_dirty * self.cost.write_back)
         self.clock.advance(cycles)
         self.counters.record_flush(self.name, reason, cycles)
+        if self.bus is not None and self.bus.enabled:
+            self.bus.publish("flush", cache=self.name, cache_page=cache_page,
+                             frame=pa_page_base // self.geo.page_size,
+                             reason=str(reason), resident=hits,
+                             cost_cycles=cycles)
         return hits
 
     def purge_page_frame(self, cache_page: int, pa_page_base: int,
@@ -433,6 +442,11 @@ class Cache:
                       + (lpp - hits) * self.cost.purge_line_miss)
         self.clock.advance(cycles)
         self.counters.record_purge(self.name, reason, cycles)
+        if self.bus is not None and self.bus.enabled:
+            self.bus.publish("purge", cache=self.name, cache_page=cache_page,
+                             frame=pa_page_base // self.geo.page_size,
+                             reason=str(reason), resident=hits,
+                             cost_cycles=cycles)
         return hits
 
     # ---- vectorized whole-page data movement --------------------------------

@@ -41,6 +41,8 @@ class DmaEngine:
         self.oracle = oracle  # ShadowMemory or None
         # Optional fault injector (dma.transfer.*); None in normal runs.
         self.injector = None
+        # Observability: the machine attaches its EventBus here.
+        self.bus = None
 
     def _charge(self, words: int) -> None:
         self.clock.advance(self.cost.dma_setup + words * self.cost.dma_word)
@@ -94,6 +96,9 @@ class DmaEngine:
             self.counters.dma_writes += 1
             self._charge(words)
             record.resolve("raised")
+            if self.bus is not None and self.bus.enabled:
+                self.bus.publish("dma-fault", frame=ppage, direction="write",
+                                 fault=kind)
             error = DmaTransferError(
                 f"DMA-write into frame {ppage} failed verification",
                 ppage=ppage, kind=kind,
@@ -105,6 +110,8 @@ class DmaEngine:
         self._charge(len(values))
         if self.oracle is not None:
             self.oracle.note_dma_write(ppage, values)
+        if self.bus is not None and self.bus.enabled:
+            self.bus.publish("dma-write", frame=ppage)
 
     def dma_read(self, ppage: int) -> np.ndarray:
         """Memory -> device: return the page the device observes.
@@ -121,6 +128,9 @@ class DmaEngine:
             self.counters.dma_reads += 1
             self._charge(words)
             record.resolve("raised")
+            if self.bus is not None and self.bus.enabled:
+                self.bus.publish("dma-fault", frame=ppage, direction="read",
+                                 fault=kind)
             error = DmaTransferError(
                 f"DMA-read of frame {ppage} failed verification",
                 ppage=ppage, kind=kind,
@@ -132,4 +142,6 @@ class DmaEngine:
         self._charge(len(values))
         if self.oracle is not None:
             self.oracle.check_dma_read(ppage, values)
+        if self.bus is not None and self.bus.enabled:
+            self.bus.publish("dma-read", frame=ppage)
         return values

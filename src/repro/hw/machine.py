@@ -35,6 +35,7 @@ from repro.hw.params import WORD_SIZE, MachineConfig
 from repro.hw.physmem import PhysicalMemory
 from repro.hw.stats import Clock, Counters
 from repro.hw.tlb import Tlb
+from repro.obs.events import EventBus
 from repro.prot import AccessKind, Prot
 
 MAX_FAULT_RETRIES = 8
@@ -66,6 +67,9 @@ class Machine:
         self.page_size = config.page_size
         self.clock = Clock()
         self.counters = Counters()
+        # One event bus for the whole machine (and the kernel built on
+        # it); disabled by default so the batched hot paths pay nothing.
+        self.bus = EventBus(self.clock)
         self.memory = PhysicalMemory(config.phys_pages, config.page_size)
         self.oracle = (ShadowMemory(config.phys_pages, config.page_size)
                        if config.check_consistency else None)
@@ -78,6 +82,8 @@ class Machine:
                        self.counters)
         self.dma = DmaEngine(self.memory, config, self.clock, self.counters,
                              oracle=self.oracle)
+        for component in (self.dcache, self.icache, self.tlb, self.dma):
+            component.bus = self.bus
         # Installed by the OS layer.
         self.translation_source: TranslationSource | None = None
         self.fault_handler: FaultHandler | None = None

@@ -12,6 +12,7 @@ instruction space, ~80% for new mappings) can be regenerated.
 from __future__ import annotations
 
 import enum
+import numbers
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -31,7 +32,19 @@ class Clock:
         self.cycles = 0
 
     def advance(self, cycles: int) -> None:
-        self.cycles += cycles
+        # A negative or fractional delta would silently corrupt every
+        # cycle attribution downstream (counters, profiler scopes, the
+        # seconds conversion), so reject it at the source.  Integral
+        # covers both Python ints and numpy integer scalars; bool is an
+        # Integral but a delta of True is always a bug.
+        if (not isinstance(cycles, numbers.Integral)
+                or isinstance(cycles, bool)):
+            raise ValueError(
+                f"clock delta must be an integer, got {cycles!r}")
+        if cycles < 0:
+            raise ValueError(
+                f"clock delta must be non-negative, got {cycles!r}")
+        self.cycles += int(cycles)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Clock(cycles={self.cycles})"
@@ -164,7 +177,14 @@ class Counters:
                    and (reason is None or r == reason))
 
     def snapshot(self) -> dict:
-        """A plain-dict summary convenient for table rendering."""
+        """A plain-dict summary convenient for table rendering.
+
+        Complete by construction: every public field of the dataclass is
+        represented (assertion-tested), so a table built from a snapshot
+        can never silently under-report a run — the protection-fault and
+        fault-recovery counters used to be dropped here, hiding exactly
+        the events chaos runs exist to count.
+        """
         return {
             "read_hits": self.read_hits,
             "read_misses": self.read_misses,
@@ -173,9 +193,22 @@ class Counters:
             "write_backs": self.write_backs,
             "page_flushes": self.total_flushes(),
             "page_purges": self.total_purges(),
+            "flush_cycles": self.total_flush_cycles(),
+            "purge_cycles": self.total_purge_cycles(),
             "mapping_faults": self.faults[FaultKind.MAPPING],
             "consistency_faults": self.faults[FaultKind.CONSISTENCY],
+            "protection_faults": self.faults[FaultKind.PROTECTION],
+            "fault_cycles": sum(self.fault_cycles.values()),
+            "tlb_hits": self.tlb_hits,
+            "tlb_misses": self.tlb_misses,
             "dma_reads": self.dma_reads,
             "dma_writes": self.dma_writes,
             "d_to_i_copies": self.d_to_i_copies,
+            "ipc_page_moves": self.ipc_page_moves,
+            "pages_zero_filled": self.pages_zero_filled,
+            "pages_copied": self.pages_copied,
+            "pages_made_uncached": self.pages_made_uncached,
+            "disk_retries": self.disk_retries,
+            "tlb_parity_recoveries": self.tlb_parity_recoveries,
+            "frames_quarantined": self.frames_quarantined,
         }

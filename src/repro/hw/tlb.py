@@ -48,6 +48,9 @@ class Tlb:
         self.counters = counters
         # Optional fault injector ("tlb.entry.corrupt"); None in normal runs.
         self.injector = None
+        # Observability: the machine attaches its EventBus here.  Only the
+        # parity-recovery path publishes — never the lookup fast paths.
+        self.bus = None
         self._map: OrderedDict[tuple[int, int], TlbEntry] = OrderedDict()
         # One-entry micro-cache over the last successful lookup.  Every
         # mutator clears it, so a micro-hit implies the entry is still
@@ -73,6 +76,9 @@ class Tlb:
                 self.clock.advance(self.cost.tlb_parity_recovery
                                    + self.cost.tlb_miss)
                 record.resolve("recovered")
+                if self.bus is not None and self.bus.enabled:
+                    self.bus.publish("tlb-parity-recovery", asid=asid,
+                                     vpage=vpage)
                 return None
         if key == self._last_key:
             self.counters.tlb_hits += 1

@@ -95,6 +95,10 @@ class Disk:
                 self.retries += 1
                 self.kernel.machine.counters.disk_retries += 1
                 clock.advance(cost.disk_retry_backoff * attempt_no)
+                bus = self.kernel.machine.bus
+                if bus is not None and bus.enabled:
+                    bus.publish("disk-retry", op=kind, file_id=file_id,
+                                page=page, attempt=attempt_no)
                 continue
             for earlier in absorbed:
                 if earlier.record is not None:

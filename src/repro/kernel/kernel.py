@@ -120,6 +120,13 @@ class Kernel:
 
     # ---- the fault dispatcher -------------------------------------------------------
 
+    def _publish_fault(self, fault: FaultInfo, classified: str) -> None:
+        bus = self.machine.bus
+        if bus is not None and bus.enabled:
+            bus.publish("fault", asid=fault.asid,
+                        vpage=fault.vaddr // self.machine.page_size,
+                        access=fault.access.value, classified=classified)
+
     def handle_fault(self, fault: FaultInfo) -> None:
         cost = self.machine.config.cost.fault_overhead
         self.machine.clock.advance(cost)
@@ -132,6 +139,7 @@ class Kernel:
                 # retry loop re-faults (absorbing a bounded stall) or
                 # escalates to FaultLoopError with full diagnostics.
                 record.resolve("retried")
+                self._publish_fault(fault, "stalled")
                 return
         vpage = fault.vaddr // self.machine.page_size
         task = self.tasks.get(fault.asid)
@@ -139,6 +147,8 @@ class Kernel:
             raise KernelError(f"fault in unknown asid {fault.asid}")
         descriptor = task.space.descriptor(vpage)
         if descriptor is None:
+            self.machine.counters.record_fault(FaultKind.PROTECTION, cost)
+            self._publish_fault(fault, "protection")
             raise ProtectionError(
                 f"{task.name}: segmentation fault at va "
                 f"{fault.vaddr:#x} ({fault.access.value})")
@@ -150,18 +160,23 @@ class Kernel:
                 if (descriptor.cow and fault.access is AccessKind.WRITE
                         and descriptor.vm_prot.allows(Prot.WRITE)):
                     self.machine.counters.record_fault(FaultKind.MAPPING, cost)
+                    self._publish_fault(fault, "mapping")
                     self._resolve_cow(task, vpage, descriptor)
                     return
+                self.machine.counters.record_fault(FaultKind.PROTECTION, cost)
+                self._publish_fault(fault, "protection")
                 raise ProtectionError(
                     f"{task.name}: {fault.access.value} of va "
                     f"{fault.vaddr:#x} violates VM protection {pte.vm_prot}")
             # The VM protection allows the access but the hardware denied
             # it: the consistency protection is in the way.
             self.machine.counters.record_fault(FaultKind.CONSISTENCY, cost)
+            self._publish_fault(fault, "consistency")
             self.pmap.consistency_fault(fault.asid, vpage, fault.access)
             return
 
         self.machine.counters.record_fault(FaultKind.MAPPING, cost)
+        self._publish_fault(fault, "mapping")
         self._resolve_mapping_fault(task, vpage, descriptor, fault.access)
 
     # ---- fault resolution -----------------------------------------------------------

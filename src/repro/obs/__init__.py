@@ -1,0 +1,40 @@
+"""Observability: structured events, cycle attribution, metrics export.
+
+Three co-operating pieces, all off by default so the batched hot path
+keeps its speedup:
+
+* :mod:`repro.obs.events` — the machine-wide :class:`EventBus` that the
+  caches, TLB, DMA engine, disk, fault dispatcher, fault injector, and
+  conformance monitor publish into;
+* :mod:`repro.obs.profiler` — the hierarchical
+  :class:`CycleProfiler` charging every simulated cycle to a stack of
+  named scopes, reconciling exactly against :class:`Counters`;
+* :mod:`repro.obs.export` — JSON / Prometheus-text snapshots of the
+  complete counter state, assertion-reconciled on every export.
+"""
+
+from repro.obs.events import (DEFAULT_CAPACITY, Event, EventBus, load_jsonl,
+                              write_jsonl)
+from repro.obs.export import (metrics_dict, parse_prometheus, to_json,
+                              to_prometheus, verify_export)
+from repro.obs.profiler import (CycleProfiler, ProfileReport, ReconcileCheck,
+                                ScopeNode, instrument_kernel, profile_run)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "Event",
+    "EventBus",
+    "load_jsonl",
+    "write_jsonl",
+    "metrics_dict",
+    "parse_prometheus",
+    "to_json",
+    "to_prometheus",
+    "verify_export",
+    "CycleProfiler",
+    "ProfileReport",
+    "ReconcileCheck",
+    "ScopeNode",
+    "instrument_kernel",
+    "profile_run",
+]

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -9,10 +11,12 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("table1", "table2", "table4", "table5", "micro",
-                        "run", "chaos", "conform", "trace", "all"):
+                        "run", "chaos", "conform", "trace", "metrics",
+                        "profile", "all"):
             args = parser.parse_args(
                 [command] + (["latex-paper"]
-                             if command in ("run", "trace") else []))
+                             if command in ("run", "trace", "profile")
+                             else []))
             assert args.command == command
 
     def test_requires_a_command(self):
@@ -91,3 +95,71 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "detected" in out
         assert "shrunk" in out
+
+
+class TestObservabilityCommands:
+    def test_metrics_json(self, capsys):
+        assert main(["metrics", "--iterations", "500"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "counters" in data and "flushes" in data
+        assert data["cycles"] > 0
+
+    def test_metrics_prom_parses(self, capsys):
+        from repro.obs import parse_prometheus
+
+        assert main(["metrics", "--format", "prom",
+                     "--iterations", "500"]) == 0
+        samples = parse_prometheus(capsys.readouterr().out)
+        assert samples[("repro_cycles_total", ())] > 0
+        assert ("repro_write_misses_total", ()) in samples
+
+    def test_metrics_workload(self, capsys):
+        assert main(["metrics", "afs-bench", "--scale", "0.1"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counters"]["dma_reads"] > 0
+
+    def test_profile(self, capsys):
+        assert main(["profile", "afs-bench", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle attribution: afs-bench" in out
+        assert "workload:afs-bench" in out
+        assert "MISMATCH" not in out
+
+    def test_run_trace_events(self, capsys, tmp_path):
+        from repro.obs import load_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["run", "latex-paper", "--scale", "0.25",
+                     "--trace-events", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace events:" in out and str(path) in out
+        events = load_jsonl(path)
+        assert events, "trace file is empty"
+        kinds = {e["kind"] for e in events}
+        assert "fault" in kinds
+
+    def test_run_inject_conform_trace_combined(self, capsys, tmp_path):
+        """Satellite: one invocation combining --inject, --conform and
+        --trace-events; the injected divergence must surface as
+        attributed trace events in the JSONL."""
+        from repro.obs import load_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "afs-bench", "--scale", "0.1",
+                  "--inject", "pmap.flush.drop:0.3", "--seed", "3",
+                  "--conform", "--trace-events", str(path)])
+        assert exc.value.code == 1          # fail-stop, as designed
+        out = capsys.readouterr().out
+        assert "fail-stop after 1 injections" in out
+        assert "trace events:" in out
+        events = load_jsonl(path)
+        injections = [e for e in events if e["kind"] == "injection"]
+        divergences = [e for e in events if e["kind"] == "divergence"]
+        assert len(injections) == 1
+        assert injections[0]["point"] == "pmap.flush.drop"
+        assert divergences, "injected divergence never became an event"
+        # the divergence is attributed: it names the frame and carries
+        # the simulated-cycle timestamp of the moment it was detected
+        assert "frame" in divergences[0]
+        assert divergences[0]["cycles"] >= injections[0]["cycles"]

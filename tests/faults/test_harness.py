@@ -57,6 +57,24 @@ class TestChaosRuns:
         reports = run_chaos_suite(range(4), preset=preset, steps=STEPS)
         assert all(r.ok for r in reports), render_suite(reports)
 
+    def test_trace_populates_the_event_summary(self):
+        report = run_chaos(seed=1, preset="mixed", steps=STEPS, trace=True)
+        assert report.event_summary
+        assert report.event_summary.get("injection", 0) == report.injections
+
+    def test_trace_defaults_off(self):
+        report = run_chaos(seed=1, preset="mixed", steps=STEPS)
+        assert report.event_summary == {}
+
+    def test_trace_does_not_change_the_verdict(self):
+        plain = run_chaos(seed=11, preset="mixed", steps=STEPS)
+        traced = run_chaos(seed=11, preset="mixed", steps=STEPS, trace=True)
+        plain_dict = dataclasses.asdict(plain)
+        traced_dict = dataclasses.asdict(traced)
+        plain_dict.pop("event_summary")
+        traced_dict.pop("event_summary")
+        assert plain_dict == traced_dict
+
     def test_transient_preset_never_records_violations(self):
         # No divergence-creating point is armed: recovery must fully
         # absorb every fault, so the oracle stays silent.

@@ -1,5 +1,10 @@
 """Tests for counters, the clock, and reason-tagged accounting."""
 
+import dataclasses
+
+import numpy as np
+import pytest
+
 from repro.hw.stats import Clock, Counters, FaultKind, Reason
 
 
@@ -9,6 +14,34 @@ class TestClock:
         clock.advance(10)
         clock.advance(5)
         assert clock.cycles == 15
+
+    def test_accepts_numpy_integers(self):
+        # The vectorized paths compute cycle costs as numpy scalars.
+        clock = Clock()
+        clock.advance(np.int64(7))
+        clock.advance(np.uint64(3))
+        assert clock.cycles == 10
+        assert isinstance(clock.cycles, int)
+
+    def test_zero_delta_is_fine(self):
+        clock = Clock()
+        clock.advance(0)
+        assert clock.cycles == 0
+
+    @pytest.mark.parametrize("bad", [-1, -100, np.int64(-5)])
+    def test_rejects_negative_deltas(self, bad):
+        clock = Clock()
+        with pytest.raises(ValueError):
+            clock.advance(bad)
+        assert clock.cycles == 0
+
+    @pytest.mark.parametrize("bad", [1.5, 2.0, np.float64(3.0), "10",
+                                     None, True])
+    def test_rejects_non_integer_deltas(self, bad):
+        clock = Clock()
+        with pytest.raises(ValueError):
+            clock.advance(bad)
+        assert clock.cycles == 0
 
 
 class TestReasonTaggedAccounting:
@@ -46,6 +79,42 @@ class TestReasonTaggedAccounting:
                     "d_to_i_copies", "write_backs"):
             assert key in snap
             assert snap[key] == 0
+
+    def test_snapshot_includes_protection_and_recovery_counters(self):
+        # These four used to be silently dropped, under-reporting chaos
+        # runs in every table built from a snapshot.
+        counters = Counters()
+        counters.record_fault(FaultKind.PROTECTION, 300)
+        counters.disk_retries = 2
+        counters.tlb_parity_recoveries = 3
+        counters.frames_quarantined = 1
+        snap = counters.snapshot()
+        assert snap["protection_faults"] == 1
+        assert snap["disk_retries"] == 2
+        assert snap["tlb_parity_recoveries"] == 3
+        assert snap["frames_quarantined"] == 1
+
+    def test_snapshot_is_complete(self):
+        """Mutating any public Counters field must change the snapshot —
+        i.e. every field is represented, so nothing can silently drop out
+        of a table again."""
+        baseline = Counters().snapshot()
+        for f in dataclasses.fields(Counters):
+            counters = Counters()
+            value = getattr(counters, f.name)
+            if isinstance(value, int):
+                setattr(counters, f.name, value + 1)
+            elif f.name in ("page_flushes", "flush_cycles",
+                            "page_purges", "purge_cycles"):
+                # mutate exactly this Counter, not its count/cycles twin
+                value[("dcache", Reason.EXPLICIT)] += 5
+            elif f.name in ("faults", "fault_cycles"):
+                value[FaultKind.PROTECTION] += 5
+            else:  # a new field landed without snapshot coverage
+                raise AssertionError(
+                    f"no mutation strategy for Counters.{f.name}")
+            assert counters.snapshot() != baseline, \
+                f"Counters.{f.name} is not represented in snapshot()"
 
     def test_every_reason_has_a_distinct_label(self):
         labels = {str(reason) for reason in Reason}

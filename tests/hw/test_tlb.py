@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.faults.injector import FaultInjector, FaultPlan, FaultRule
 from repro.hw.params import CostModel
 from repro.hw.stats import Clock, Counters
 from repro.hw.tlb import Tlb
@@ -76,3 +77,48 @@ class TestInvalidation:
         tlb.insert(1, 10, 5, Prot.READ)
         assert (1, 10) in tlb
         assert (1, 11) not in tlb
+
+
+class TestCorruptionInvalidatesMicroCache:
+    """Regression: an injected TLB-entry corruption must invalidate the
+    one-entry micro-cache like every other mutator — otherwise the
+    corrupted translation could be served one extra time from the
+    micro-cache after parity already rejected it."""
+
+    def _armed(self, tlb, max_fires=1):
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule("tlb.entry.corrupt", rate=1.0, max_fires=max_fires),))
+        FaultInjector(plan, tlb.clock).attach(tlb=tlb)
+        return tlb
+
+    def test_corruption_clears_micro_cache(self, tlb):
+        tlb.insert(1, 10, 5, Prot.READ)
+        assert tlb.lookup(1, 10) is not None   # primes the micro-cache
+        assert tlb._last_key == (1, 10)
+        self._armed(tlb)
+        assert tlb.lookup(1, 10) is None       # parity rejects the entry
+        assert tlb._last_key is None
+        assert tlb._last_entry is None
+
+    def test_no_stale_serve_after_recovery(self, tlb):
+        tlb.insert(1, 10, 5, Prot.READ)
+        tlb.lookup(1, 10)
+        self._armed(tlb)
+        assert tlb.lookup(1, 10) is None       # injected corruption fires
+        # The budget is spent; the next lookup must be a genuine miss
+        # (a refill walk), never a micro-cache serve of the dead entry.
+        hits_before = tlb.counters.tlb_hits
+        assert tlb.lookup(1, 10) is None
+        assert tlb.counters.tlb_hits == hits_before
+        assert tlb.counters.tlb_parity_recoveries == 1
+
+    def test_recovery_is_charged_and_counted(self, tlb):
+        tlb.insert(1, 10, 5, Prot.READ)
+        tlb.lookup(1, 10)
+        cycles_before = tlb.clock.cycles
+        self._armed(tlb)
+        tlb.lookup(1, 10)
+        cost = CostModel()
+        assert (tlb.clock.cycles - cycles_before
+                == cost.tlb_parity_recovery + cost.tlb_miss)
+        assert tlb.counters.tlb_parity_recoveries == 1
