@@ -1,0 +1,155 @@
+"""Farm scaling: wall-clock vs worker count, and the near-free rerun.
+
+One chaos batch — every job a pure function of its seed — runs serially,
+then across 2- and 4-worker pools, then twice against a fresh result
+cache.  Payloads are asserted identical on every path (the farm's
+defining property; tests/farm/test_equivalence.py holds the full proof),
+and the measured wall-clocks land in ``BENCH_farm.json`` at the repo
+root: the parallel speedups, and the cache-hit rerun that answers from
+disk without simulating anything.
+
+The parallel-speedup gate only arms on hosts with at least two usable
+cores — a single-core container cannot exhibit parallel speedup, only
+record its absence — while the cache-hit gate (>10x) holds everywhere:
+reading JSON beats re-simulating on any machine.
+
+Also runnable standalone (the CI farm job invocation)::
+
+    PYTHONPATH=src python benchmarks/bench_farm_scaling.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_farm.json"
+
+if str(REPO_ROOT / "src") not in sys.path:      # standalone invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.farm import Executor, JobSpec, ResultCache
+
+PLANS = 12
+STEPS = 400
+WIDTHS = (2, 4)
+
+#: the CI gates; the parallel one arms only on multi-core hosts.
+MIN_PARALLEL_SPEEDUP = 1.5
+MIN_CACHE_SPEEDUP = 10.0
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:                      # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_run(executor: Executor, specs) -> tuple[float, list]:
+    t0 = time.perf_counter()
+    outcomes = executor.run(specs)
+    seconds = time.perf_counter() - t0
+    assert all(o.ok for o in outcomes)
+    return seconds, [o.payload for o in outcomes]
+
+
+def measure() -> dict:
+    specs = [JobSpec.chaos(seed=seed, preset="mixed", steps=STEPS)
+             for seed in range(PLANS)]
+
+    serial_seconds, serial_payloads = _timed_run(Executor(jobs=1), specs)
+
+    parallel = {}
+    for jobs in WIDTHS:
+        seconds, payloads = _timed_run(
+            Executor(jobs=jobs, timeout=120.0), specs)
+        assert payloads == serial_payloads      # sharding changed nothing
+        parallel[jobs] = {
+            "host_seconds": round(seconds, 4),
+            "speedup": round(serial_seconds / seconds, 2),
+        }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        miss_seconds, miss_payloads = _timed_run(
+            Executor(jobs=1, cache=ResultCache(tmp)), specs)
+        hit_executor = Executor(jobs=1, cache=ResultCache(tmp))
+        hit_seconds, hit_payloads = _timed_run(hit_executor, specs)
+        assert hit_executor.stats.cache_hits == PLANS
+        assert hit_payloads == miss_payloads == serial_payloads
+
+    return {
+        "plans": PLANS,
+        "steps": STEPS,
+        "usable_cores": _usable_cores(),
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel": {str(jobs): row for jobs, row in parallel.items()},
+        "cache": {
+            "cold_seconds": round(miss_seconds, 4),
+            "hit_seconds": round(hit_seconds, 4),
+            "speedup": round(serial_seconds / hit_seconds, 1),
+        },
+        "equivalent": True,
+    }
+
+
+def render(result: dict) -> str:
+    lines = [
+        f"Farm scaling ({result['plans']} chaos plans x "
+        f"{result['steps']} steps, {result['usable_cores']} usable "
+        "cores)",
+        "",
+        f"{'mode':<16} {'host seconds':>14} {'speedup':>9}",
+        f"{'serial':<16} {result['serial_seconds']:>14.3f} {'1.0x':>9}",
+    ]
+    for jobs, row in sorted(result["parallel"].items(), key=lambda i:
+                            int(i[0])):
+        lines.append(f"{jobs + ' workers':<16} "
+                     f"{row['host_seconds']:>14.3f} "
+                     f"{str(row['speedup']) + 'x':>9}")
+    cache = result["cache"]
+    lines.append(f"{'cache hit':<16} {cache['hit_seconds']:>14.3f} "
+                 f"{str(cache['speedup']) + 'x':>9}")
+    lines.append("")
+    lines.append("identical payloads on every path; cache-hit rerun "
+                 "reads JSON instead of simulating")
+    return "\n".join(lines)
+
+
+def check(result: dict) -> list[str]:
+    """The gates; returns failure descriptions (empty == pass)."""
+    failures = []
+    if result["cache"]["speedup"] < MIN_CACHE_SPEEDUP:
+        failures.append(
+            f"cache-hit rerun only {result['cache']['speedup']}x faster "
+            f"than serial (gate: {MIN_CACHE_SPEEDUP}x)")
+    best = max(row["speedup"] for row in result["parallel"].values())
+    if result["usable_cores"] >= 2 and best < MIN_PARALLEL_SPEEDUP:
+        failures.append(
+            f"best parallel speedup {best}x on "
+            f"{result['usable_cores']} cores (gate: "
+            f"{MIN_PARALLEL_SPEEDUP}x)")
+    return failures
+
+
+def test_farm_scaling(once):
+    from conftest import emit
+    result = once(measure)
+    JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    emit("farm_scaling", render(result))
+    assert check(result) == []
+
+
+if __name__ == "__main__":
+    result = measure()
+    JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(render(result))
+    failures = check(result)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}")
+    sys.exit(1 if failures else 0)

@@ -8,28 +8,38 @@ and operation collapse must match the scaled runs (the shapes are scale-
 invariant, which is itself worth checking).
 """
 
-from conftest import emit
+from conftest import emit, farm_executor
 
-from repro.analysis.experiments import make_workload, run_workload
-from repro.hw.params import MachineConfig
-from repro.vm.policy import CONFIG_A, CONFIG_F
+from repro.analysis.metrics import RunMetrics
+from repro.farm import JobSpec
+from repro.farm.suites import FarmJobError
 
 FULL_MACHINE = dict(phys_pages=1024)
 FULL_SCALE = 5.0     # kernel-build: 200 sources; afs-bench: 80 files
 
+NAMES = ("afs-bench", "kernel-build")
+
 
 def test_full_scale(once):
+    # The four paper-scale runs are independent pure jobs — the shape of
+    # work the simulation farm exists for.  REPRO_FARM_JOBS shards them;
+    # the default executor runs the identical serial path.
+    executor = farm_executor()
+    specs = [JobSpec.workload(workload=name, policy=policy,
+                              scale=FULL_SCALE,
+                              phys_pages=FULL_MACHINE["phys_pages"],
+                              buffer_cache_pages=128)
+             for name in NAMES for policy in ("A", "F")]
+
     def run():
-        rows = {}
-        for name in ("afs-bench", "kernel-build"):
-            old = run_workload(make_workload(name, FULL_SCALE), CONFIG_A,
-                               config=MachineConfig(**FULL_MACHINE),
-                               buffer_cache_pages=128)
-            new = run_workload(make_workload(name, FULL_SCALE), CONFIG_F,
-                               config=MachineConfig(**FULL_MACHINE),
-                               buffer_cache_pages=128)
-            rows[name] = (old, new)
-        return rows
+        outcomes = executor.run(specs)
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise FarmJobError(outcome)
+        metrics = [RunMetrics.from_dict(o.payload["metrics"])
+                   for o in outcomes]
+        return {name: (metrics[2 * i], metrics[2 * i + 1])
+                for i, name in enumerate(NAMES)}
 
     rows = once(run)
     lines = ["Paper-scale runs (kernel-build: 200 sources):",

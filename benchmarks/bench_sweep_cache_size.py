@@ -11,7 +11,7 @@ a data-cache purge under configuration F falling as the cache shrinks —
 and the old-vs-new gap persisting at every size.
 """
 
-from conftest import SCALE, emit
+from conftest import SCALE, emit, farm_executor
 
 from repro.analysis.sweep import render_sweep, sweep_cache_sizes
 from repro.vm.policy import CONFIG_A, CONFIG_F
@@ -20,10 +20,17 @@ SIZES = (32, 64, 256)
 
 
 def test_cache_size_sweep(once):
+    # Each (policy, size) point is one farm job: REPRO_FARM_JOBS shards
+    # the sweep, REPRO_FARM_CACHE makes reruns near-free; the default is
+    # the serial path, point-for-point identical (tests/farm asserts so).
+    executor = farm_executor()
+
     def run():
         return {
-            "A": sweep_cache_sizes("kernel-build", CONFIG_A, SIZES, SCALE),
-            "F": sweep_cache_sizes("kernel-build", CONFIG_F, SIZES, SCALE),
+            "A": sweep_cache_sizes("kernel-build", CONFIG_A, SIZES, SCALE,
+                                   executor=executor),
+            "F": sweep_cache_sizes("kernel-build", CONFIG_F, SIZES, SCALE,
+                                   executor=executor),
         }
 
     sweeps = once(run)

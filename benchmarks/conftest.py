@@ -13,6 +13,7 @@ here.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -26,6 +27,26 @@ OUT_DIR = pathlib.Path(__file__).parent / "out"
 # full scale affordable: the whole suite still completes in well under a
 # minute (see bench_sim_throughput.py).
 SCALE = DEFAULT_SCALE
+
+#: how wide the farm-wired benches run (bench_sweep_cache_size,
+#: bench_full_scale); 1 == the historical serial path, bit-identical.
+FARM_JOBS = int(os.environ.get("REPRO_FARM_JOBS", "1"))
+
+
+def farm_executor(timeout: float = 900.0):
+    """The executor the farm-wired benches share.
+
+    The result cache stays *off* unless ``REPRO_FARM_CACHE`` names a
+    directory: a cached bench would report near-zero wall time, which is
+    exactly what a benchmark must not silently do.  CI's farm job opts
+    in to demonstrate the near-free rerun.
+    """
+    from repro.farm import Executor, ResultCache
+
+    cache_dir = os.environ.get("REPRO_FARM_CACHE")
+    return Executor(jobs=FARM_JOBS,
+                    cache=ResultCache(cache_dir) if cache_dir else None,
+                    timeout=timeout)
 
 
 def emit(name: str, text: str) -> None:

@@ -9,7 +9,7 @@ flush share, new-mapping purge share, and so on).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.hw.params import CostModel
 from repro.hw.stats import Counters, FaultKind, Reason
@@ -25,6 +25,13 @@ class OpCost:
     @property
     def avg_cycles(self) -> float:
         return self.cycles / self.count if self.count else 0.0
+
+    def to_pair(self) -> list:
+        return [self.count, self.cycles]
+
+    @classmethod
+    def from_pair(cls, pair) -> "OpCost":
+        return cls(int(pair[0]), int(pair[1]))
 
 
 @dataclass(frozen=True)
@@ -86,6 +93,26 @@ class RunMetrics:
     def consistency_overhead_fraction(self) -> float:
         return (self.consistency_overhead_cycles / self.cycles
                 if self.cycles else 0.0)
+
+    def to_dict(self) -> dict:
+        """A JSON-safe encoding that :meth:`from_dict` inverts exactly
+        (the farm's result cache round-trips metrics through JSON; the
+        equivalence tests assert ``from_dict(to_dict(m)) == m``)."""
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = value.to_pair() if isinstance(value, OpCost) \
+                else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunMetrics":
+        kwargs = {}
+        for f in fields(cls):
+            value = data[f.name]
+            kwargs[f.name] = (OpCost.from_pair(value)
+                              if f.type == "OpCost" else value)
+        return cls(**kwargs)
 
 
 def snapshot_counters(counters: Counters) -> dict:

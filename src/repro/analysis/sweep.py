@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.analysis.experiments import make_workload, run_workload
 from repro.analysis.metrics import RunMetrics
 from repro.hw.params import CacheGeometry, MachineConfig
-from repro.vm.policy import PolicyConfig
+from repro.vm.policy import PolicyConfig, by_name
 
 
 @dataclass(frozen=True)
@@ -45,14 +45,61 @@ def machine_with_dcache(kib: int, phys_pages: int = 320) -> MachineConfig:
 
 def sweep_cache_sizes(workload_name: str, policy: PolicyConfig,
                       sizes_kib: tuple[int, ...] = (32, 64, 128, 256),
-                      scale: float = 0.5) -> list[SweepPoint]:
-    """Run one workload/policy across data-cache sizes."""
-    points = []
-    for kib in sizes_kib:
-        metrics = run_workload(make_workload(workload_name, scale), policy,
-                               config=machine_with_dcache(kib))
-        points.append(SweepPoint(kib, metrics))
-    return points
+                      scale: float = 0.5, jobs: int = 1,
+                      executor=None) -> list[SweepPoint]:
+    """Run one workload/policy across data-cache sizes.
+
+    With ``jobs > 1`` (or an explicit farm ``executor``) each size runs
+    as one farm job — identical points, sharded and cacheable (see
+    :mod:`repro.farm`); every sweep point is a pure function of
+    (workload, policy, size, scale)."""
+    if jobs <= 1 and executor is None:
+        points = []
+        for kib in sizes_kib:
+            metrics = run_workload(make_workload(workload_name, scale),
+                                   policy, config=machine_with_dcache(kib))
+            points.append(SweepPoint(kib, metrics))
+        return points
+    from repro.farm import Executor, farm_sweep_points
+
+    if executor is None:
+        executor = Executor(jobs=jobs)
+    return farm_sweep_points(workload_name, policy.name, tuple(sizes_kib),
+                             scale, executor)
+
+
+def run_sweep(workload_name: str, policy_names: tuple[str, ...],
+              sizes_kib: tuple[int, ...], scale: float = 0.5,
+              jobs: int = 1, executor=None) -> dict[str, list[SweepPoint]]:
+    """The CLI's sweep: every policy across every cache size.  When
+    farmed, the whole (policy, size) grid runs as one spec batch, so
+    every point shares the worker pool."""
+    for name in policy_names:
+        by_name(name)                  # fail fast on unknown policies
+    if jobs <= 1 and executor is None:
+        return {name: sweep_cache_sizes(workload_name, by_name(name),
+                                        sizes_kib, scale)
+                for name in policy_names}
+    from repro.farm import Executor, farm_sweep_grid
+
+    if executor is None:
+        executor = Executor(jobs=jobs)
+    return farm_sweep_grid(workload_name, tuple(policy_names),
+                           tuple(sizes_kib), scale, executor)
+
+
+def sweep_to_dict(points_by_policy: dict[str, list[SweepPoint]],
+                  workload_name: str, scale: float) -> dict:
+    """A JSON-safe encoding of a sweep (the CLI's ``--out`` artifact)."""
+    return {
+        "workload": workload_name,
+        "scale": scale,
+        "policies": {
+            name: [{"dcache_kib": p.dcache_kib,
+                    "metrics": p.metrics.to_dict()} for p in points]
+            for name, points in points_by_policy.items()
+        },
+    }
 
 
 def render_sweep(points_by_policy: dict[str, list[SweepPoint]],

@@ -11,8 +11,12 @@ Usage::
                                    [--inject PLAN --seed N] [--conform]
                                    [--trace-events FILE]
     python -m repro chaos [--plans 50] [--preset mixed] [--steps 200]
+                          [--jobs N]
     python -m repro conform [--sequences 200] [--seed 0] [--scale 0.25]
-                            [--mutant NAME]
+                            [--mutant NAME] [--jobs N]
+    python -m repro sweep [--workload kernel-build] [--policies A,F]
+                          [--sizes 32,64,128,256] [--jobs N] [--out FILE]
+    python -m repro farm {stats,gc,clear,run} [--specs FILE] [--jobs N]
     python -m repro trace <workload> [--out FILE] [--diff GOLDEN]
     python -m repro metrics [workload|micro] [--format json|prom]
     python -m repro profile <workload> [--policy F] [--scale 1.0]
@@ -35,6 +39,15 @@ under the cycle-attribution profiler and prints the cycle flamegraph;
 ``run --trace-events FILE`` streams the structured event bus (flushes,
 purges, faults, DMA, injections, divergences) to a JSONL file (see
 docs/observability.md).
+
+``sweep`` runs cache-size sweeps and ``chaos``/``conform`` accept
+``--jobs N``: work shards across the simulation farm's worker pool with
+per-job timeouts, bounded retries, and a content-addressed result cache
+that makes reruns near-free (see docs/farm.md); ``farm`` inspects and
+maintains that cache (``stats``/``gc``/``clear``) or runs an arbitrary
+spec batch from a JSONL file (``run --specs``).  Farm commands accept
+``--trace-events FILE`` to stream fleet progress (jobs queued, started,
+done, retried, cache hits) as JSON lines.
 """
 
 from __future__ import annotations
@@ -176,17 +189,76 @@ def _cmd_run(args) -> None:
             print(f"    {divergence}")
 
 
+def _farm_setup(args, default_cache: bool = False):
+    """Build an :class:`~repro.farm.Executor` from a command's farm
+    flags.  Returns ``(executor, finish)``; ``finish()`` closes the
+    ``--trace-events`` stream (a no-op without one)."""
+    from repro.farm import DEFAULT_TIMEOUT, Executor, ResultCache
+
+    cache = None
+    if not args.no_cache and (args.cache_dir or default_cache):
+        cache = ResultCache(args.cache_dir)
+    executor = Executor(jobs=args.jobs, cache=cache,
+                        timeout=args.timeout or DEFAULT_TIMEOUT)
+    if not args.trace_events:
+        return executor, lambda: None
+    handle = open(args.trace_events, "w")
+    executor.bus.enable().subscribe(
+        lambda event: handle.write(event.to_json() + "\n"))
+    return executor, handle.close
+
+
+def _farm_line(executor, stats=None) -> str:
+    s = stats if stats is not None else executor.stats
+    line = (f"farm: {s.jobs} jobs, {s.done} done, {s.failed} failed, "
+            f"{s.cache_hits} cache hits, {s.retries} retries "
+            f"({executor.jobs} worker{'s' if executor.jobs != 1 else ''}, "
+            f"{s.wall_seconds:.2f}s)")
+    if s.degraded:
+        line += " [degraded to serial]"
+    return line
+
+
+def _merge_stats(totals, stats):
+    """Sum FarmStats across several ``Executor.run`` calls (each call
+    resets ``executor.stats``; multi-suite commands want the total)."""
+    if totals is None:
+        return stats
+    totals.jobs += stats.jobs
+    totals.done += stats.done
+    totals.failed += stats.failed
+    totals.cache_hits += stats.cache_hits
+    totals.retries += stats.retries
+    totals.worker_deaths += stats.worker_deaths
+    totals.degraded |= stats.degraded
+    totals.wall_seconds += stats.wall_seconds
+    return totals
+
+
 def _cmd_chaos(args) -> None:
     from repro.faults import run_chaos_suite
     from repro.faults.harness import PRESETS, render_suite
 
     presets = ([args.preset] if args.preset != "all"
                else [p for p in PRESETS if p != "control"])
+    # The classic in-process loop unless a farm flag asks for sharding,
+    # caching, or progress events — jobs=1 farm runs are bit-identical.
+    farmed = bool(args.jobs > 1 or args.cache_dir or args.trace_events)
+    executor, finish = _farm_setup(args) if farmed else (None, lambda: None)
     reports = []
-    for preset in presets:
-        reports += run_chaos_suite(range(args.seed, args.seed + args.plans),
-                                   preset=preset, steps=args.steps)
+    totals = None
+    try:
+        for preset in presets:
+            reports += run_chaos_suite(
+                range(args.seed, args.seed + args.plans),
+                preset=preset, steps=args.steps, executor=executor)
+            if executor is not None:
+                totals = _merge_stats(totals, executor.stats)
+    finally:
+        finish()
     print(render_suite(reports))
+    if executor is not None:
+        print(_farm_line(executor, totals))
     if any(not r.ok for r in reports):
         raise SystemExit(1)
 
@@ -212,43 +284,169 @@ def _cmd_conform(args) -> None:
         return
 
     failed = False
+    totals = None
+    # --jobs N farms the explorer sweep (independently seeded shards,
+    # coverage merged) and the three workload shadow runs; the serial
+    # path below is untouched when jobs is 1 and no farm flag is set.
+    farmed = bool(args.jobs > 1 or args.cache_dir or args.trace_events)
+    executor, finish = _farm_setup(args) if farmed else (None, lambda: None)
+    try:
+        # 1. The seeded sweep: many deep sequences, zero divergences
+        #    expected.
+        if executor is None:
+            sweep = Explorer(num_cache_pages=args.cache_pages,
+                             seed=args.seed).explore(args.sequences)
+        else:
+            from repro.farm import farm_explore
 
-    # 1. The seeded sweep: many deep sequences, zero divergences expected.
-    sweep = Explorer(num_cache_pages=args.cache_pages,
-                     seed=args.seed).explore(args.sequences)
-    print(sweep.render())
-    failed |= not sweep.ok
+            sweep = farm_explore(args.seed, args.sequences,
+                                 args.cache_pages, executor)
+            totals = _merge_stats(totals, executor.stats)
+        print(sweep.render())
+        failed |= not sweep.ok
 
-    # 2. The arc-coverage run: keep going until all 48 arcs are seen.
-    cover = Explorer(num_cache_pages=args.cache_pages,
-                     seed=args.seed + 1).explore_until_covered()
-    print(f"coverage run: all arcs after {cover.sequences} sequences / "
-          f"{cover.events} events")
-    failed |= not (cover.ok and cover.coverage.complete)
+        # 2. The arc-coverage run: keep going until all 48 arcs are seen.
+        cover = Explorer(num_cache_pages=args.cache_pages,
+                         seed=args.seed + 1).explore_until_covered()
+        print(f"coverage run: all arcs after {cover.sequences} sequences / "
+              f"{cover.events} events")
+        failed |= not (cover.ok and cover.coverage.complete)
 
-    # 3. Live shadowing of the paper workloads.
-    policy = by_name(args.policy)
-    merged = ArcCoverage()
-    merged.merge(sweep.coverage)
-    merged.merge(cover.coverage)
-    for name in WORKLOAD_NAMES:
-        kernel = Kernel(policy=policy, config=evaluation_machine(),
-                        buffer_cache_pages=48)
-        with ConformanceMonitor(kernel, record_only=True) as monitor:
-            run_workload(make_workload(name, args.scale), policy,
-                         kernel=kernel)
-        summary = monitor.summary()
-        print(f"{name:>12}: {summary}")
-        merged.merge(monitor.coverage)
-        failed |= not monitor.ok
-        for divergence in monitor.divergences:
-            print(f"              {divergence}")
+        # 3. Live shadowing of the paper workloads.
+        policy = by_name(args.policy)
+        merged = ArcCoverage()
+        merged.merge(sweep.coverage)
+        merged.merge(cover.coverage)
+        if executor is None:
+            for name in WORKLOAD_NAMES:
+                kernel = Kernel(policy=policy, config=evaluation_machine(),
+                                buffer_cache_pages=48)
+                with ConformanceMonitor(kernel,
+                                        record_only=True) as monitor:
+                    run_workload(make_workload(name, args.scale), policy,
+                                 kernel=kernel)
+                summary = monitor.summary()
+                print(f"{name:>12}: {summary}")
+                merged.merge(monitor.coverage)
+                failed |= not monitor.ok
+                for divergence in monitor.divergences:
+                    print(f"              {divergence}")
+        else:
+            from repro.farm import JobSpec
+
+            specs = [JobSpec.workload(workload=name, policy=policy.name,
+                                      scale=args.scale,
+                                      buffer_cache_pages=48, conform=True)
+                     for name in WORKLOAD_NAMES]
+            outcomes = executor.run(specs)
+            totals = _merge_stats(totals, executor.stats)
+            for name, outcome in zip(WORKLOAD_NAMES, outcomes):
+                if not outcome.ok:
+                    print(f"{name:>12}: farm job failed: {outcome.failure}")
+                    failed = True
+                    continue
+                shadow = outcome.payload["conform"]
+                coverage = ArcCoverage.from_dict(shadow["coverage"])
+                print(f"{name:>12}: {shadow['events']} events, "
+                      f"{len(shadow['divergences'])} divergences, "
+                      f"{coverage.summary()}")
+                merged.merge(coverage)
+                failed |= not shadow["ok"]
+                for divergence in shadow["divergences"]:
+                    print(f"              {divergence}")
+    finally:
+        finish()
 
     print(f"combined {merged.summary()}")
+    if executor is not None:
+        print(_farm_line(executor, totals))
     if failed:
         print("verdict: DIVERGED from the Table 2 model")
         raise SystemExit(1)
     print("verdict: conforms to the Table 2 model")
+
+
+def _cmd_sweep(args) -> None:
+    import json
+
+    from repro.analysis.sweep import render_sweep, run_sweep, sweep_to_dict
+
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    policies = tuple(p.strip() for p in args.policies.split(",")
+                     if p.strip())
+    # Sweeps default the cache *on*: every point is a pure function of
+    # (workload, policy, size, scale), so a repeated sweep answers from
+    # disk (--no-cache forces recomputation).
+    executor, finish = _farm_setup(args, default_cache=True)
+    try:
+        points = run_sweep(args.workload, policies, sizes,
+                           scale=args.scale, executor=executor)
+    finally:
+        finish()
+    print(render_sweep(points, args.workload))
+    print(_farm_line(executor))
+    if args.out:
+        artifact = sweep_to_dict(points, args.workload, args.scale)
+        artifact["farm"] = executor.stats.as_dict()
+        with open(args.out, "w") as handle:
+            json.dump(artifact, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote sweep to {args.out}")
+
+
+def _cmd_farm(args) -> None:
+    import json
+
+    from repro.farm import JobSpec, ResultCache, code_fingerprint
+
+    if args.action == "stats":
+        print(json.dumps(ResultCache(args.cache_dir)
+                         .stats(code_fingerprint()), indent=2))
+        return
+    if args.action == "clear":
+        cache = ResultCache(args.cache_dir)
+        print(f"cleared {cache.clear()} cached results from {cache.root}")
+        return
+    if args.action == "gc":
+        cache = ResultCache(args.cache_dir)
+        removed = cache.gc(code_fingerprint())
+        print(f"evicted {removed} stale results from {cache.root}")
+        return
+
+    # action == "run": execute a JSON-lines spec batch.
+    if not args.specs:
+        raise SystemExit("farm run requires --specs FILE.jsonl")
+    specs = []
+    with open(args.specs) as handle:
+        for line in handle:
+            if line.strip():
+                specs.append(JobSpec.from_dict(json.loads(line)))
+    executor, finish = _farm_setup(args, default_cache=True)
+    try:
+        outcomes = executor.run(specs)
+    finally:
+        finish()
+    for outcome in outcomes:
+        status = ("cached" if outcome.cache_hit
+                  else "ok" if outcome.ok else str(outcome.failure))
+        print(f"  {outcome.spec.label():<44} {status}")
+    print(_farm_line(executor))
+    if args.out:
+        with open(args.out, "w") as handle:
+            for outcome in outcomes:
+                failure = outcome.failure
+                handle.write(json.dumps({
+                    "spec": outcome.spec.to_dict(),
+                    "ok": outcome.ok,
+                    "cache_hit": outcome.cache_hit,
+                    "payload": outcome.payload,
+                    "failure": None if failure is None else {
+                        "kind": failure.kind, "message": failure.message,
+                        "attempts": failure.attempts},
+                }) + "\n")
+        print(f"wrote {len(outcomes)} outcomes to {args.out}")
+    if any(not o.ok for o in outcomes):
+        raise SystemExit(1)
 
 
 def _cmd_trace(args) -> None:
@@ -337,6 +535,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.set_defaults(fn=fn)
         return p
 
+    def add_farm_args(p):
+        p.add_argument("--jobs", type=int, default=1,
+                       help="farm worker processes (1 = in-process "
+                            "serial, bit-identical to the classic path)")
+        p.add_argument("--cache-dir", metavar="DIR", dest="cache_dir",
+                       help="result-cache directory (default "
+                            "$REPRO_FARM_CACHE or ~/.cache/repro-farm)")
+        p.add_argument("--no-cache", action="store_true", dest="no_cache",
+                       help="disable the content-addressed result cache")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-job timeout in seconds (enforced in "
+                            "pool mode)")
+        p.add_argument("--trace-events", metavar="FILE",
+                       dest="trace_events",
+                       help="stream farm progress events (queued, start, "
+                            "done, retry, cache-hit) to FILE as JSON "
+                            "lines")
+
     p = add("table1", _cmd_table1, "old-vs-new benchmark comparison")
     p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
 
@@ -385,6 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stressor steps per run")
     p.add_argument("--seed", type=int, default=0,
                    help="first seed of the batch")
+    add_farm_args(p)
 
     p = add("conform", _cmd_conform,
             "lockstep conformance engine against the Table 2 model")
@@ -401,6 +618,33 @@ def build_parser() -> argparse.ArgumentParser:
                                         "drop-stale-on-dma-write",
                                         "unconditional-will-overwrite"],
                    help="install a seeded bug and demonstrate detection")
+    add_farm_args(p)
+
+    p = add("sweep", _cmd_sweep,
+            "cache-size sweep across policies, farmed and cached")
+    p.add_argument("--workload", default="kernel-build",
+                   choices=list(WORKLOAD_NAMES))
+    p.add_argument("--policies", default="A,F",
+                   help="comma-separated configuration names (A..F, G)")
+    p.add_argument("--sizes", default="32,64,128,256",
+                   help="comma-separated data-cache sizes in KiB")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--out", metavar="FILE",
+                   help="write the sweep (and farm stats) as JSON")
+    add_farm_args(p)
+
+    p = add("farm", _cmd_farm,
+            "inspect the farm's result cache or run a spec batch")
+    p.add_argument("action", choices=["stats", "gc", "clear", "run"],
+                   help="stats: inventory the cache; gc: drop entries "
+                        "from other code versions; clear: drop "
+                        "everything; run: execute a spec batch")
+    p.add_argument("--specs", metavar="FILE",
+                   help="JSON-lines JobSpec batch for 'run' (one spec "
+                        "dict per line)")
+    p.add_argument("--out", metavar="FILE",
+                   help="write 'run' outcomes as JSON lines")
+    add_farm_args(p)
 
     p = add("trace", _cmd_trace,
             "record a workload's consistency event trace")

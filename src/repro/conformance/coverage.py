@@ -77,6 +77,24 @@ class ArcCoverage:
         self.counts.update(other.counts)
         return self
 
+    # ---- encoding ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe encoding (arcs as ``[op, state, column, count]``
+        rows) that :meth:`from_dict` inverts exactly; the farm ships
+        coverage across process boundaries so shard coverage can merge
+        in the parent."""
+        rows = [[op.name, state.name, column, count]
+                for (op, state, column), count in self.counts.items()]
+        return {"counts": sorted(rows)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArcCoverage":
+        coverage = cls()
+        for op, state, column, count in data["counts"]:
+            coverage.counts[(MemoryOp[op], LineState[state], column)] = count
+        return coverage
+
     # ---- queries ----------------------------------------------------------------
 
     @property

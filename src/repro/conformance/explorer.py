@@ -157,6 +157,25 @@ class Counterexample:
                 f"  shrunk: {fmt(self.shrunk)} ({len(self.shrunk)} events)\n"
                 f"  detail: {self.divergence.detail}")
 
+    def to_dict(self) -> dict:
+        def encode(seq):
+            return [[op.name, target] for op, target in seq]
+        return {"sequence": encode(self.sequence),
+                "divergence": {"step": self.divergence.step,
+                               "kind": self.divergence.kind,
+                               "detail": self.divergence.detail},
+                "shrunk": encode(self.shrunk)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Counterexample":
+        def decode(rows):
+            return [(MemoryOp[op], target) for op, target in rows]
+        d = data["divergence"]
+        return cls(sequence=decode(data["sequence"]),
+                   divergence=StepDivergence(d["step"], d["kind"],
+                                             d["detail"]),
+                   shrunk=decode(data["shrunk"]))
+
 
 @dataclass
 class ExplorationReport:
@@ -188,6 +207,46 @@ class ExplorationReport:
         for ce in self.counterexamples:
             lines.append(ce.render())
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """A JSON-safe encoding that :meth:`from_dict` inverts exactly;
+        the farm runs explorer shards in worker processes and merges the
+        reports (and their arc coverage) in the parent."""
+        return {"num_cache_pages": self.num_cache_pages, "seed": self.seed,
+                "sequences": self.sequences, "events": self.events,
+                "counterexamples": [ce.to_dict()
+                                    for ce in self.counterexamples],
+                "coverage": self.coverage.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExplorationReport":
+        return cls(num_cache_pages=data["num_cache_pages"],
+                   seed=data["seed"], sequences=data["sequences"],
+                   events=data["events"],
+                   counterexamples=[Counterexample.from_dict(ce)
+                                    for ce in data["counterexamples"]],
+                   coverage=ArcCoverage.from_dict(data["coverage"]))
+
+
+def merge_exploration_reports(
+        reports: list["ExplorationReport"]) -> "ExplorationReport":
+    """Combine per-seed explorer shards: coverage merges, sequence and
+    event counts add, counterexamples concatenate.  ``seed`` of the merge
+    is the first shard's (the shard seeds are recorded per report)."""
+    if not reports:
+        raise ValueError("no exploration reports to merge")
+    coverage = ArcCoverage()
+    counterexamples: list[Counterexample] = []
+    for report in reports:
+        coverage.merge(report.coverage)
+        counterexamples += report.counterexamples
+    first = reports[0]
+    return ExplorationReport(num_cache_pages=first.num_cache_pages,
+                             seed=first.seed,
+                             sequences=sum(r.sequences for r in reports),
+                             events=sum(r.events for r in reports),
+                             counterexamples=counterexamples,
+                             coverage=coverage)
 
 
 class Explorer:

@@ -67,7 +67,10 @@ class CheckReport:
 
     ``sequences`` counts complete depth-``depth`` event sequences whose
     every step was judged (directly or via a deduplicated subtree);
-    ``steps`` counts the engine transitions actually executed.
+    ``steps`` counts the engine transitions actually executed.  A report
+    produced by a prefix shard (see :func:`shard_prefixes`) records the
+    alphabet-index prefix it covered; :func:`merge_reports` combines the
+    shards back into the full-space report.
     """
 
     num_cache_pages: int
@@ -75,10 +78,58 @@ class CheckReport:
     sequences: int
     steps: int
     violations: list[str]
+    prefix: tuple[int, ...] = ()
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    def to_dict(self) -> dict:
+        return {"num_cache_pages": self.num_cache_pages,
+                "depth": self.depth, "sequences": self.sequences,
+                "steps": self.steps, "violations": list(self.violations),
+                "prefix": list(self.prefix)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckReport":
+        return cls(num_cache_pages=data["num_cache_pages"],
+                   depth=data["depth"], sequences=data["sequences"],
+                   steps=data["steps"],
+                   violations=list(data["violations"]),
+                   prefix=tuple(data.get("prefix", ())))
+
+
+def shard_prefixes(num_cache_pages: int,
+                   shard_depth: int = 1) -> list[tuple[int, ...]]:
+    """Every alphabet-index prefix of length ``shard_depth``: the shard
+    space of one exhaustive run.  Each prefix names a disjoint subtree of
+    the event-sequence space, so the shards can be checked independently
+    (on the farm) and merged; their union is exactly the full run."""
+    fanout = len(event_alphabet(num_cache_pages))
+    prefixes: list[tuple[int, ...]] = [()]
+    for _ in range(shard_depth):
+        prefixes = [p + (i,) for p in prefixes for i in range(fanout)]
+    return prefixes
+
+
+def merge_reports(reports: list[CheckReport]) -> CheckReport:
+    """Combine per-prefix shard reports into the full-space report.
+
+    Callers are expected to pass one report per prefix of a complete
+    :func:`shard_prefixes` shard space; sequence and step counts add up
+    (the subtrees are disjoint) and violations concatenate.
+    """
+    if not reports:
+        raise ValueError("no shard reports to merge")
+    first = reports[0]
+    violations: list[str] = []
+    for report in reports:
+        violations += report.violations
+    return CheckReport(num_cache_pages=first.num_cache_pages,
+                       depth=first.depth,
+                       sequences=sum(r.sequences for r in reports),
+                       steps=sum(r.steps for r in reports),
+                       violations=violations)
 
 
 class _ActionCollector:
@@ -104,12 +155,23 @@ class _ActionCollector:
 
 def check_all_sequences(num_cache_pages: int = 3, depth: int = 6,
                         stop_at_first: bool = True,
-                        dedup: bool = True) -> CheckReport:
+                        dedup: bool = True,
+                        prefix: tuple[int, ...] = ()) -> CheckReport:
     """Cover every event sequence up to ``depth`` and check the three
     judgments at every step.  Returns a report; ``ok`` means no sequence
     violated anything.  ``dedup=False`` disables the state deduplication
-    (every prefix is walked explicitly; used to validate the dedup)."""
+    (every prefix is walked explicitly; used to validate the dedup).
+
+    ``prefix`` restricts the walk to the subtree whose first events are
+    the given alphabet indices (see :func:`shard_prefixes`): those events
+    are applied — and judged — first, then every suffix of the remaining
+    depth is covered.  ``depth`` stays the *total* sequence depth, so the
+    reports of a full shard space merge into exactly the unsharded run.
+    """
     alphabet = event_alphabet(num_cache_pages)
+    if len(prefix) > depth:
+        raise ValueError(f"prefix of length {len(prefix)} exceeds "
+                         f"depth {depth}")
     violations: list[str] = []
     sequences = 0
     steps = 0
@@ -134,9 +196,30 @@ def check_all_sequences(num_cache_pages: int = 3, depth: int = 6,
         state.stale._bits = snap[2]
         state.cache_dirty = snap[3]
 
+    def judge(op: MemoryOp, target: int | None) -> bool:
+        """Apply one event to both sides and judge it; True == violated."""
+        nonlocal steps
+        steps += 1
+        required = model.apply(op, target)
+        collector.performed.clear()
+        engine(state, op, target if op.is_cpu else None,
+               need_data=(op is not MemoryOp.DMA_WRITE))
+        try:
+            model.validate()
+            state.validate()
+        except Exception as error:  # structural invariant broken
+            violations.append(f"{tuple(path)}: invariant: {error}")
+            return True
+        missing = [a for a in required
+                   if not collector.satisfied(a.action, a.cache_page)]
+        if missing:
+            violations.append(f"{tuple(path)}: engine skipped {missing}")
+            return True
+        return False
+
     def visit(remaining: int) -> bool:
         """Walk all suffixes of the current state; True aborts the search."""
-        nonlocal sequences, steps
+        nonlocal sequences
         if remaining == 0:
             sequences += 1
             return False
@@ -149,26 +232,7 @@ def check_all_sequences(num_cache_pages: int = 3, depth: int = 6,
         snap = snapshot()
         for op, target in alphabet:
             path.append((op, target))
-            steps += 1
-            required = model.apply(op, target)
-            collector.performed.clear()
-            engine(state, op, target if op.is_cpu else None,
-                   need_data=(op is not MemoryOp.DMA_WRITE))
-            failed = False
-            try:
-                model.validate()
-                state.validate()
-            except Exception as error:  # structural invariant broken
-                violations.append(f"{tuple(path)}: invariant: {error}")
-                failed = True
-            if not failed:
-                missing = [a for a in required
-                           if not collector.satisfied(a.action, a.cache_page)]
-                if missing:
-                    violations.append(
-                        f"{tuple(path)}: engine skipped {missing}")
-                    failed = True
-            if failed:
+            if judge(op, target):
                 path.pop()
                 restore(snap)
                 if stop_at_first:
@@ -180,5 +244,14 @@ def check_all_sequences(num_cache_pages: int = 3, depth: int = 6,
             restore(snap)
         return False
 
-    visit(depth)
-    return CheckReport(num_cache_pages, depth, sequences, steps, violations)
+    # The shard prefix is applied — and judged — before the walk; its
+    # subtree then covers every suffix of the remaining depth.
+    for index in prefix:
+        op, target = alphabet[index]
+        path.append((op, target))
+        if judge(op, target):
+            return CheckReport(num_cache_pages, depth, 0, steps, violations,
+                               tuple(prefix))
+    visit(depth - len(prefix))
+    return CheckReport(num_cache_pages, depth, sequences, steps, violations,
+                       tuple(prefix))

@@ -1,0 +1,194 @@
+"""The content-addressed result cache: repeated sweeps are near-free.
+
+Every completed job's payload is persisted as one JSON file named by the
+job's content key (``JobSpec.key(fingerprint)``), so a rerun of the same
+sweep, chaos suite or benchmark with unchanged code answers from disk in
+microseconds instead of re-simulating.  The entry carries its own
+integrity data — the spec that produced it, the code fingerprint, and a
+SHA-256 of the canonical payload encoding — so a *poisoned* entry (a
+truncated write, a corrupted disk block, a hand-edited file) is detected
+on read, deleted, and transparently recomputed rather than served.
+
+Writes are atomic (temp file + ``os.replace``) and canonical (sorted
+keys, fixed separators), so a cache hit returns the byte-identical
+payload the original run produced and concurrent writers of the same key
+converge on identical bytes.
+
+The default cache root is ``~/.cache/repro-farm`` (override with the
+``REPRO_FARM_CACHE`` environment variable or the ``--cache-dir`` CLI
+flag); invalidation is explicit: :meth:`ResultCache.gc` drops entries
+whose fingerprint no longer matches the current code, and
+:meth:`ResultCache.clear` drops everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from collections import Counter
+
+from repro.farm.jobspec import SCHEMA_VERSION, JobSpec
+
+ENV_VAR = "REPRO_FARM_CACHE"
+DEFAULT_ROOT = "~/.cache/repro-farm"
+
+
+def default_cache_root() -> pathlib.Path:
+    return pathlib.Path(os.environ.get(ENV_VAR, DEFAULT_ROOT)).expanduser()
+
+
+def _payload_digest(payload: dict) -> str:
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+class ResultCache:
+    """Disk store of job payloads keyed by content hash.
+
+    Counters (``hits``, ``misses``, ``poisoned``) accumulate over the
+    cache object's lifetime; the executor reports them in its
+    ``farm-complete`` event.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = pathlib.Path(root) if root else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+        self.poisoned = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    # ---- read --------------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """The cached payload for ``key``, or None.
+
+        A structurally invalid or checksum-mismatched entry is treated as
+        a miss: it is deleted so the recomputed result can take its
+        place, and counted in ``poisoned``.
+        """
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError):
+            self._discard_poisoned(path)
+            return None
+        if not self._valid(key, entry):
+            self._discard_poisoned(path)
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    @staticmethod
+    def _valid(key: str, entry) -> bool:
+        if not isinstance(entry, dict):
+            return False
+        if entry.get("version") != SCHEMA_VERSION or entry.get("key") != key:
+            return False
+        payload = entry.get("payload")
+        if not isinstance(payload, dict):
+            return False
+        return entry.get("payload_sha256") == _payload_digest(payload)
+
+    def _discard_poisoned(self, path: pathlib.Path) -> None:
+        self.poisoned += 1
+        self.misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # ---- write -------------------------------------------------------------
+
+    def put(self, key: str, spec: JobSpec, fingerprint: str,
+            payload: dict) -> pathlib.Path:
+        """Persist one payload atomically; returns the entry path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": SCHEMA_VERSION,
+            "key": key,
+            "fingerprint": fingerprint,
+            "spec": spec.to_dict(),
+            "payload": payload,
+            "payload_sha256": _payload_digest(payload),
+        }
+        encoded = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(encoded)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ---- maintenance -------------------------------------------------------
+
+    def entries(self):
+        """Yield ``(path, entry-dict-or-None)`` for every stored file
+        (None for unparseable entries)."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                yield path, json.loads(path.read_text())
+            except (OSError, ValueError):
+                yield path, None
+
+    def stats(self, fingerprint: str | None = None) -> dict:
+        """Inventory of the store: entry and byte counts, kinds, and how
+        many entries match the given (current) fingerprint."""
+        kinds: Counter[str] = Counter()
+        entries = 0
+        stale = 0
+        invalid = 0
+        size = 0
+        for path, entry in self.entries():
+            entries += 1
+            size += path.stat().st_size
+            if not isinstance(entry, dict):
+                invalid += 1
+                continue
+            spec = entry.get("spec") or {}
+            kinds[spec.get("kind", "?")] += 1
+            if fingerprint and entry.get("fingerprint") != fingerprint:
+                stale += 1
+        return {"root": str(self.root), "entries": entries, "bytes": size,
+                "kinds": dict(sorted(kinds.items())), "stale": stale,
+                "invalid": invalid}
+
+    def gc(self, fingerprint: str) -> int:
+        """Explicit invalidation: delete every entry whose fingerprint is
+        not ``fingerprint`` (plus unparseable files); returns the count."""
+        removed = 0
+        for path, entry in list(self.entries()):
+            if isinstance(entry, dict) and \
+                    entry.get("fingerprint") == fingerprint:
+                continue
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Delete every entry; returns the count."""
+        removed = 0
+        for path, _ in list(self.entries()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ResultCache({self.root}, hits={self.hits}, "
+                f"misses={self.misses}, poisoned={self.poisoned})")

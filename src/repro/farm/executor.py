@@ -1,0 +1,385 @@
+"""The executor: one spec list in, one outcome list out — any width.
+
+``Executor(jobs=1)`` runs every spec in the calling process with the
+exact code path the repository's serial consumers always used, so a
+one-wide farm run is bit-identical to today's loops.  ``jobs=N`` shards
+the specs across ``N`` worker processes; because every job is a pure
+function of its spec (see :mod:`repro.farm.jobspec`), the two modes
+produce identical payloads, and the equivalence property tests assert
+exactly that.
+
+Failure semantics (the part a naive ``multiprocessing.Pool`` gets
+wrong):
+
+* **per-job timeout** — a worker that exceeds ``timeout`` seconds on one
+  job is terminated (hung simulations cannot be cancelled from inside);
+* **bounded retries** — a job whose worker raised, hung, or died is
+  retried up to ``retries`` more times (on a fresh worker where needed)
+  before being reported;
+* **structured failure** — an exhausted job yields a
+  :class:`JobFailure` (kind, message, attempt count) in its outcome
+  slot; the run never hangs and never silently drops a job;
+* **graceful degradation** — when workers keep dying (more than
+  ``degrade_after`` replacements), the pool is abandoned and the
+  remaining jobs run serially in the parent, which cannot crash-loop.
+
+Progress — jobs queued/started/done/retried/failed, cache hits,
+degradation — publishes on an :class:`repro.obs.EventBus`, so the
+``run --trace-events`` style of introspection extends to fleet runs
+(``sweep``/``farm``/``chaos`` accept ``--trace-events FILE``).
+
+Results are returned in spec order regardless of completion order, and
+completed payloads land in the :class:`~repro.farm.cache.ResultCache`
+(when one is attached) keyed by content hash, so reruns are near-free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.farm.cache import ResultCache
+from repro.farm.fingerprint import code_fingerprint
+from repro.farm.jobspec import JobSpec
+from repro.farm.runners import run_spec
+from repro.hw.stats import Clock
+from repro.obs.events import EventBus
+
+#: generous per-job wall-clock bound; individual consumers override.
+DEFAULT_TIMEOUT = 300.0
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Why one job exhausted its attempts."""
+
+    kind: str            # "exception" | "timeout" | "worker-death"
+    message: str
+    attempts: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind} after {self.attempts} attempts: {self.message}"
+
+
+@dataclass
+class JobOutcome:
+    """One spec's result: a payload or a structured failure."""
+
+    spec: JobSpec
+    payload: dict | None = None
+    failure: JobFailure | None = None
+    cache_hit: bool = False
+    attempts: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+@dataclass
+class FarmStats:
+    """What one :meth:`Executor.run` did, for reports and events."""
+
+    jobs: int = 0
+    done: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    retries: int = 0
+    worker_deaths: int = 0
+    degraded: bool = False
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {"jobs": self.jobs, "done": self.done, "failed": self.failed,
+                "cache_hits": self.cache_hits, "retries": self.retries,
+                "worker_deaths": self.worker_deaths,
+                "degraded": self.degraded,
+                "wall_seconds": round(self.wall_seconds, 3)}
+
+
+def _worker_main(wid: int, task_q, result_q) -> None:
+    """Worker loop: run specs until the ``None`` sentinel arrives.
+
+    Every exception — including ``KeyboardInterrupt`` — is shipped back
+    as a structured error so the parent, not the worker, owns policy.
+    """
+    while True:
+        message = task_q.get()
+        if message is None:
+            return
+        index, spec_dict = message
+        try:
+            payload = run_spec(JobSpec.from_dict(spec_dict))
+            result_q.put((wid, index, "ok", payload))
+        except BaseException as exc:  # noqa: BLE001 - shipped to parent
+            result_q.put((wid, index, "error",
+                          {"type": type(exc).__name__, "message": str(exc),
+                           "traceback": traceback.format_exc()}))
+
+
+class _Worker:
+    """One pool member: a process plus its private task queue."""
+
+    def __init__(self, ctx, wid: int, result_q):
+        self.wid = wid
+        self.task_q = ctx.SimpleQueue()
+        self.proc = ctx.Process(target=_worker_main,
+                                args=(wid, self.task_q, result_q),
+                                daemon=True)
+        self.proc.start()
+
+    def stop(self, timeout: float = 1.0) -> None:
+        try:
+            if self.proc.is_alive():
+                self.task_q.put(None)
+                self.proc.join(timeout)
+            if self.proc.is_alive():
+                self.proc.terminate()
+                self.proc.join(timeout)
+        finally:
+            self.proc.close()
+
+    def kill(self) -> None:
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(1.0)
+        self.proc.close()
+
+
+class Executor:
+    """Runs :class:`JobSpec` batches serially or across a process pool."""
+
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
+                 timeout: float = DEFAULT_TIMEOUT, retries: int = 2,
+                 bus: EventBus | None = None,
+                 fingerprint: str | None = None,
+                 degrade_after: int | None = None,
+                 start_method: str | None = None):
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = retries
+        #: farm events carry no simulated time — the farm runs outside
+        #: the machines it schedules — so the bus gets its own zero clock
+        #: and events order by ``seq``.
+        self.bus = bus if bus is not None else EventBus(Clock())
+        self.fingerprint = fingerprint or (code_fingerprint()
+                                           if cache is not None else "")
+        self.degrade_after = (degrade_after if degrade_after is not None
+                              else max(4, 2 * jobs))
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        self.start_method = start_method
+        self.stats = FarmStats()
+
+    # ---- entry point -------------------------------------------------------
+
+    def run(self, specs) -> list[JobOutcome]:
+        """Execute every spec; outcomes come back in spec order."""
+        specs = list(specs)
+        self.stats = FarmStats(jobs=len(specs))
+        started = time.perf_counter()
+        self._publish("farm-queued", jobs=len(specs), workers=self.jobs,
+                      cached=self.cache is not None)
+        outcomes: list[JobOutcome | None] = [None] * len(specs)
+        pending: deque[tuple[int, int]] = deque()   # (index, attempt)
+        for index, spec in enumerate(specs):
+            hit = self._lookup(spec)
+            if hit is not None:
+                outcomes[index] = hit
+                self.stats.cache_hits += 1
+                self._publish("farm-cache-hit", job=index,
+                              label=spec.label())
+            else:
+                pending.append((index, 1))
+        if pending:
+            if self.jobs == 1:
+                self._run_serial(specs, pending, outcomes)
+            else:
+                self._run_pool(specs, pending, outcomes)
+        self.stats.wall_seconds = time.perf_counter() - started
+        self.stats.done = sum(1 for o in outcomes if o is not None and o.ok)
+        self.stats.failed = len(specs) - self.stats.done
+        self._publish("farm-complete", **self.stats.as_dict())
+        return outcomes
+
+    # ---- shared pieces -----------------------------------------------------
+
+    def _publish(self, kind: str, **detail) -> None:
+        bus = self.bus
+        if bus is not None and bus.enabled:
+            bus.publish(kind, **detail)
+
+    def _lookup(self, spec: JobSpec) -> JobOutcome | None:
+        if self.cache is None:
+            return None
+        payload = self.cache.get(spec.key(self.fingerprint))
+        if payload is None:
+            return None
+        return JobOutcome(spec, payload=payload, cache_hit=True, attempts=0)
+
+    def _store(self, spec: JobSpec, payload: dict) -> None:
+        if self.cache is not None:
+            self.cache.put(spec.key(self.fingerprint), spec,
+                           self.fingerprint, payload)
+
+    def _complete(self, outcomes, index, spec, payload, attempt,
+                  wall) -> None:
+        self._store(spec, payload)
+        outcomes[index] = JobOutcome(spec, payload=payload, attempts=attempt,
+                                     wall_seconds=wall)
+        self._publish("farm-done", job=index, label=spec.label(),
+                      attempt=attempt, wall=round(wall, 4))
+
+    def _fail(self, outcomes, index, spec, kind, message, attempt) -> None:
+        failure = JobFailure(kind, message, attempt)
+        outcomes[index] = JobOutcome(spec, failure=failure, attempts=attempt)
+        self._publish("farm-failure", job=index, label=spec.label(),
+                      failure=kind, message=message, attempts=attempt)
+
+    def _retry(self, pending, index, spec, reason, attempt) -> None:
+        self.stats.retries += 1
+        self._publish("farm-retry", job=index, label=spec.label(),
+                      reason=reason, attempt=attempt)
+        pending.appendleft((index, attempt + 1))
+
+    # ---- serial ------------------------------------------------------------
+
+    def _run_serial(self, specs, pending, outcomes) -> None:
+        """In-process execution: today's serial loops, plus the farm's
+        retry-on-exception and structured-failure semantics.  Hangs are
+        not preemptible in-process — only the pool path can kill a hung
+        job, which is why per-job timeouts require ``jobs > 1``."""
+        while pending:
+            index, attempt = pending.popleft()
+            spec = specs[index]
+            self._publish("farm-start", job=index, label=spec.label(),
+                          attempt=attempt, worker="serial")
+            begun = time.perf_counter()
+            try:
+                payload = run_spec(spec)
+            except Exception as exc:
+                if attempt <= self.retries:
+                    self._retry(pending, index, spec, "exception", attempt)
+                else:
+                    self._fail(outcomes, index, spec, "exception",
+                               f"{type(exc).__name__}: {exc}", attempt)
+                continue
+            self._complete(outcomes, index, spec, payload, attempt,
+                           time.perf_counter() - begun)
+
+    # ---- pool --------------------------------------------------------------
+
+    def _run_pool(self, specs, pending, outcomes) -> None:
+        ctx = multiprocessing.get_context(self.start_method)
+        result_q = ctx.Queue()
+        workers: dict[int, _Worker] = {}
+        in_flight: dict[int, tuple[int, int, float, float]] = {}
+        next_wid = 0
+        try:
+            for _ in range(min(self.jobs, len(pending))):
+                workers[next_wid] = _Worker(ctx, next_wid, result_q)
+                next_wid += 1
+            idle = list(workers)
+            while pending or in_flight:
+                # 1. Dispatch to every idle worker.
+                while pending and idle:
+                    wid = idle.pop()
+                    index, attempt = pending.popleft()
+                    workers[wid].task_q.put((index, specs[index].to_dict()))
+                    in_flight[wid] = (index, attempt,
+                                      time.monotonic() + self.timeout,
+                                      time.perf_counter())
+                    self._publish("farm-start", job=index,
+                                  label=specs[index].label(),
+                                  attempt=attempt, worker=wid)
+                # 2. Drain every available result before judging workers,
+                #    so a result racing a crash or timeout still counts.
+                drained = False
+                while True:
+                    try:
+                        wid, index, status, data = result_q.get(
+                            timeout=0.0 if drained else 0.05)
+                    except queue.Empty:
+                        break
+                    drained = True
+                    flight = in_flight.get(wid)
+                    if flight is None or flight[0] != index:
+                        continue  # stale result from a replaced worker
+                    index, attempt, _, begun = in_flight.pop(wid)
+                    spec = specs[index]
+                    if wid in workers:
+                        idle.append(wid)
+                    if status == "ok":
+                        self._complete(outcomes, index, spec, data, attempt,
+                                       time.perf_counter() - begun)
+                    elif attempt <= self.retries:
+                        self._retry(pending, index, spec, "exception",
+                                    attempt)
+                    else:
+                        self._fail(outcomes, index, spec, "exception",
+                                   f"{data['type']}: {data['message']}",
+                                   attempt)
+                # 3. Reap dead and hung workers.
+                now = time.monotonic()
+                for wid in list(in_flight):
+                    index, attempt, deadline, _ = in_flight[wid]
+                    worker = workers[wid]
+                    died = not worker.proc.is_alive()
+                    hung = now > deadline
+                    if not died and not hung:
+                        continue
+                    reason = "worker-death" if died else "timeout"
+                    in_flight.pop(wid)
+                    workers.pop(wid)
+                    worker.kill()
+                    self.stats.worker_deaths += 1
+                    spec = specs[index]
+                    if attempt <= self.retries:
+                        self._retry(pending, index, spec, reason, attempt)
+                    else:
+                        message = (f"worker exited while running the job"
+                                   if died else
+                                   f"job exceeded {self.timeout:g}s")
+                        self._fail(outcomes, index, spec, reason, message,
+                                   attempt)
+                    if self.stats.worker_deaths > self.degrade_after:
+                        # The pool is poison: stop replacing workers and
+                        # finish the remaining jobs where nothing can
+                        # crash-loop — the parent process.
+                        self.stats.degraded = True
+                        self._publish(
+                            "farm-degraded",
+                            worker_deaths=self.stats.worker_deaths,
+                            remaining=len(pending) + len(in_flight))
+                        for other_wid, flight in list(in_flight.items()):
+                            pending.appendleft((flight[0], flight[1]))
+                            workers.pop(other_wid).kill()
+                        in_flight.clear()
+                        self._run_serial(specs, pending, outcomes)
+                        return
+                    workers[next_wid] = _Worker(ctx, next_wid, result_q)
+                    idle.append(next_wid)
+                    next_wid += 1
+        finally:
+            for worker in workers.values():
+                worker.stop()
+            result_q.close()
+            result_q.cancel_join_thread()
+
+
+def run_specs(specs, jobs: int = 1, cache: ResultCache | None = None,
+              **kwargs) -> list[JobOutcome]:
+    """One-call convenience: build an executor, run, return outcomes."""
+    return Executor(jobs=jobs, cache=cache, **kwargs).run(specs)

@@ -1,0 +1,48 @@
+"""The code-version fingerprint: what makes cached results trustworthy.
+
+A cached payload is only valid while the code that produced it is
+byte-identical, because the cache key promises "same spec + same code =>
+same result".  The fingerprint is a single SHA-256 over the relative
+path and contents of every ``.py`` file in the installed ``repro``
+package, so *any* source change — a cost-model constant, a policy flag,
+a workload tweak — flips every cache key at once and every job recomputes.
+Stale entries stay on disk until ``ResultCache.gc()`` (or the
+``python -m repro farm gc`` subcommand) removes them.
+
+The walk is content-based, not mtime-based, so checkouts, copies and CI
+restores of the same tree fingerprint identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+
+import repro
+
+_cached: str | None = None
+
+
+def package_root() -> pathlib.Path:
+    """The directory of the installed ``repro`` package."""
+    return pathlib.Path(repro.__file__).resolve().parent
+
+
+def code_fingerprint(refresh: bool = False) -> str:
+    """SHA-256 over every source file of the ``repro`` package.
+
+    Computed once per process (the tree is a few hundred KiB; hashing it
+    takes single-digit milliseconds) unless ``refresh`` forces a rescan.
+    """
+    global _cached
+    if _cached is not None and not refresh:
+        return _cached
+    root = package_root()
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    _cached = digest.hexdigest()
+    return _cached

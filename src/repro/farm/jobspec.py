@@ -1,0 +1,151 @@
+"""The farm's job model: a frozen, hashable description of one run.
+
+A :class:`JobSpec` is the unit of work the simulation farm schedules: a
+job *kind* (which pure function to run) plus a flat bag of JSON-scalar
+parameters.  Every expensive consumer in the repository — a workload
+measurement, a chaos run, an explorer shard, an exhaustive-checker
+prefix shard — is a pure function of its spec, because the simulator is
+deterministic by construction: all randomness is seeded, all time is the
+simulated clock.  That purity is what makes specs *content-addressable*:
+``spec.key(fingerprint)`` is a stable hash of the spec's canonical JSON
+plus the code-version fingerprint, and two runs with the same key are
+guaranteed to produce the same payload, so the second one never needs to
+run (see :mod:`repro.farm.cache`).
+
+Parameter values are restricted to JSON scalars (and flat tuples of
+them, for the exhaustive checker's event-index prefixes) so that the
+canonical encoding is unambiguous and the spec survives a JSON round
+trip bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: the on-disk schema version; bump to invalidate every cache entry.
+SCHEMA_VERSION = 1
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_value(key: str, value):
+    if isinstance(value, bool) or value is None or isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, (tuple, list)):
+        for item in value:
+            if not isinstance(item, _SCALARS):
+                raise ConfigurationError(
+                    f"job parameter {key!r} holds a non-scalar element "
+                    f"{item!r}")
+        return tuple(value)
+    raise ConfigurationError(
+        f"job parameter {key!r} must be a JSON scalar or a flat tuple, "
+        f"got {value!r}")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable simulation job: a kind plus sorted parameters."""
+
+    kind: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    # ---- construction ------------------------------------------------------
+
+    @classmethod
+    def make(cls, kind: str, **params) -> "JobSpec":
+        """Build a spec; parameters are validated and canonically sorted,
+        and ``None`` values are dropped (absent == default)."""
+        items = tuple(sorted((k, _check_value(k, v))
+                             for k, v in params.items() if v is not None))
+        return cls(kind=kind, params=items)
+
+    # The consumer-facing constructors; one per job kind the farm runs.
+
+    @classmethod
+    def workload(cls, workload: str, policy: str, scale: float,
+                 dcache_kib: int | None = None,
+                 phys_pages: int | None = None,
+                 buffer_cache_pages: int | None = None,
+                 inject: str | None = None, seed: int | None = None,
+                 conform: bool = False) -> "JobSpec":
+        return cls.make("workload", workload=workload, policy=policy,
+                        scale=scale, dcache_kib=dcache_kib,
+                        phys_pages=phys_pages,
+                        buffer_cache_pages=buffer_cache_pages,
+                        inject=inject, seed=seed,
+                        conform=conform or None)
+
+    @classmethod
+    def chaos(cls, seed: int, preset: str = "mixed",
+              steps: int = 200) -> "JobSpec":
+        return cls.make("chaos", seed=seed, preset=preset, steps=steps)
+
+    @classmethod
+    def explore(cls, seed: int, sequences: int,
+                cache_pages: int = 3) -> "JobSpec":
+        return cls.make("explore", seed=seed, sequences=sequences,
+                        cache_pages=cache_pages)
+
+    @classmethod
+    def exhaustive(cls, num_cache_pages: int, depth: int,
+                   prefix: tuple[int, ...] = ()) -> "JobSpec":
+        return cls.make("exhaustive", num_cache_pages=num_cache_pages,
+                        depth=depth, prefix=tuple(prefix))
+
+    @classmethod
+    def selftest(cls, mode: str = "ok", **params) -> "JobSpec":
+        return cls.make("selftest", mode=mode, **params)
+
+    # ---- access ------------------------------------------------------------
+
+    def get(self, key: str, default=None):
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def __getitem__(self, key: str):
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            raise KeyError(key)
+        return value
+
+    # ---- encoding ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        return cls.make(data["kind"], **data["params"])
+
+    def canonical(self) -> str:
+        """The canonical JSON encoding the content hash is taken over
+        (sorted keys, no whitespace, tuples as arrays)."""
+        return json.dumps({"version": SCHEMA_VERSION, "kind": self.kind,
+                           "params": dict(self.params)},
+                          sort_keys=True, separators=(",", ":"))
+
+    def key(self, fingerprint: str) -> str:
+        """The content-addressed cache key: hash of (spec, code version)."""
+        digest = hashlib.sha256()
+        digest.update(self.canonical().encode())
+        digest.update(b"\0")
+        digest.update(fingerprint.encode())
+        return digest.hexdigest()
+
+    def label(self) -> str:
+        """A short human-readable identity for progress events."""
+        parts = [f"{k}={v}" for k, v in self.params
+                 if k in ("workload", "policy", "seed", "preset",
+                          "dcache_kib", "prefix", "mode")]
+        return f"{self.kind}({', '.join(parts)})"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label()

@@ -1,0 +1,197 @@
+"""Job runners: the pure function each :class:`JobSpec` kind names.
+
+A runner takes a spec and returns a JSON-safe payload dict — the same
+dict whether it runs in the caller's process (``Executor(jobs=1)``) or
+in a pool worker, which is what makes serial and sharded execution
+bit-identical and the payload cacheable.  Runners are registered in a
+module-level table so worker processes resolve them by kind after a
+plain import, with no closures crossing the process boundary.
+
+Kinds:
+
+``workload``
+    One measured workload execution (the primitive behind the tables and
+    sweeps): workload name, policy name, scale, optional machine
+    overrides (``dcache_kib``, ``phys_pages``, ``buffer_cache_pages``),
+    optional fault plan (``inject`` + ``seed``), optional lockstep
+    shadowing (``conform``).  Payload: the :class:`RunMetrics` dict,
+    plus injection and conformance summaries when armed; an injected
+    run that fail-stops records the detection as a ``failstop`` payload
+    (a deterministic result of the spec) rather than failing the job.
+``chaos``
+    One detected-or-harmless chaos run (seed, preset, steps); payload is
+    the verified :class:`ChaosReport` dict.
+``explore``
+    One conformance-explorer shard (seed, sequences, cache_pages);
+    payload is the :class:`ExplorationReport` dict, coverage included.
+``exhaustive``
+    One prefix shard of the bounded exhaustive checker; payload is the
+    :class:`CheckReport` dict.
+``selftest``
+    A test-only runner exercising the executor's failure machinery:
+    echo a value, raise, hang, busy-spin, exit the worker process, or
+    fail once then succeed (``flaky`` — keyed on a scratch file).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.errors import ConfigurationError, ReproError
+from repro.farm.jobspec import JobSpec
+
+RUNNERS: dict = {}
+
+
+def runner(kind: str):
+    def register(fn):
+        RUNNERS[kind] = fn
+        return fn
+    return register
+
+
+def run_spec(spec: JobSpec) -> dict:
+    """Execute one spec in this process; returns its payload dict."""
+    try:
+        fn = RUNNERS[spec.kind]
+    except KeyError:
+        raise ConfigurationError(f"unknown job kind {spec.kind!r}")
+    return fn(spec)
+
+
+# ---- simulation runners ----------------------------------------------------
+
+
+@runner("workload")
+def _run_workload_job(spec: JobSpec) -> dict:
+    from repro.analysis.experiments import (evaluation_machine,
+                                            make_workload, run_workload)
+    from repro.analysis.sweep import machine_with_dcache
+    from repro.vm.policy import by_name
+
+    policy = by_name(spec["policy"])
+    dcache_kib = spec.get("dcache_kib")
+    phys_pages = spec.get("phys_pages")
+    if dcache_kib is not None:
+        config = machine_with_dcache(dcache_kib, phys_pages or 320)
+    elif phys_pages is not None:
+        from repro.hw.params import MachineConfig
+        config = MachineConfig(phys_pages=phys_pages)
+    else:
+        config = evaluation_machine()
+    buffer_cache_pages = spec.get("buffer_cache_pages", 48)
+    workload = make_workload(spec["workload"], spec.get("scale", 1.0))
+
+    inject = spec.get("inject")
+    conform = bool(spec.get("conform", False))
+    kernel = injector = monitor = None
+    if inject or conform:
+        from repro.kernel.kernel import Kernel
+        kernel = Kernel(policy=policy, config=config,
+                        buffer_cache_pages=buffer_cache_pages)
+    if inject:
+        from repro.faults import FaultInjector, FaultPlan
+        plan = FaultPlan.parse(inject, seed=spec.get("seed", 0))
+        injector = FaultInjector(plan, kernel.machine.clock)
+        injector.attach_kernel(kernel)
+    if conform:
+        from repro.conformance import ConformanceMonitor
+        monitor = ConformanceMonitor(kernel,
+                                     record_only=injector is not None)
+        monitor.attach()
+    failstop = None
+    try:
+        metrics = run_workload(workload, policy, config=config,
+                               buffer_cache_pages=buffer_cache_pages,
+                               kernel=kernel)
+    except ReproError as exc:
+        # Under injection a fail-stop is *detection* — a legitimate,
+        # deterministic result of the spec, not an infrastructure
+        # failure to retry (mirrors the CLI's `run --inject` handling).
+        if injector is None:
+            raise
+        failstop = {"type": type(exc).__name__, "message": str(exc)}
+    finally:
+        if monitor is not None:
+            monitor.detach()
+    if failstop is not None:
+        return {"failstop": failstop, "injections": len(injector.audit)}
+    payload: dict = {"metrics": metrics.to_dict()}
+    if injector is not None:
+        payload["injections"] = len(injector.audit)
+    if monitor is not None:
+        payload["conform"] = {
+            "ok": monitor.ok,
+            "events": monitor.events_seen,
+            "divergences": [str(d) for d in monitor.divergences],
+            "coverage": monitor.coverage.to_dict(),
+        }
+    return payload
+
+
+@runner("chaos")
+def _run_chaos_job(spec: JobSpec) -> dict:
+    from repro.faults.harness import run_chaos
+
+    report = run_chaos(spec["seed"], preset=spec.get("preset", "mixed"),
+                       steps=spec.get("steps", 200))
+    return {"report": report.to_dict()}
+
+
+@runner("explore")
+def _run_explore_job(spec: JobSpec) -> dict:
+    from repro.conformance.explorer import Explorer
+
+    report = Explorer(num_cache_pages=spec.get("cache_pages", 3),
+                      seed=spec["seed"]).explore(spec["sequences"])
+    return {"report": report.to_dict()}
+
+
+@runner("exhaustive")
+def _run_exhaustive_job(spec: JobSpec) -> dict:
+    from repro.core.exhaustive import check_all_sequences
+
+    report = check_all_sequences(
+        num_cache_pages=spec["num_cache_pages"], depth=spec["depth"],
+        prefix=tuple(spec.get("prefix", ())))
+    return {"report": report.to_dict()}
+
+
+# ---- the executor's own test surface ---------------------------------------
+
+
+@runner("selftest")
+def _run_selftest_job(spec: JobSpec) -> dict:
+    mode = spec.get("mode", "ok")
+    if mode == "ok":
+        return {"value": spec.get("value"), "pid": os.getpid()}
+    if mode == "raise":
+        raise RuntimeError(f"selftest raise ({spec.get('value')})")
+    if mode == "hang":
+        time.sleep(float(spec.get("seconds", 3600.0)))
+        return {"value": "woke"}
+    if mode == "spin":
+        deadline = time.perf_counter() + float(spec.get("seconds", 0.1))
+        n = 0
+        while time.perf_counter() < deadline:
+            n += 1
+        return {"value": spec.get("value"), "spins": bool(n)}
+    if mode == "die":
+        # Only a pool worker may be killed; after degradation the job
+        # runs in the parent, where the crash becomes a plain exception
+        # (the scenario the degradation path exists for).
+        import multiprocessing
+        if multiprocessing.parent_process() is not None:
+            os._exit(int(spec.get("code", 13)))
+        raise RuntimeError("selftest die: not in a worker process")
+    if mode == "flaky":
+        # Fail until the scratch file exists; the first attempt creates
+        # it, so the bounded retry's second attempt succeeds.
+        marker = spec["path"]
+        if os.path.exists(marker):
+            return {"value": "recovered", "pid": os.getpid()}
+        with open(marker, "w") as handle:
+            handle.write("attempted\n")
+        raise RuntimeError("selftest flaky: first attempt fails")
+    raise ConfigurationError(f"unknown selftest mode {mode!r}")

@@ -1,0 +1,136 @@
+"""Farm wiring for the repository's expensive consumers.
+
+Each helper turns one existing serial loop into a spec batch, runs it
+through an :class:`~repro.farm.executor.Executor`, and reassembles the
+exact result objects the serial path produces — so callers switch
+between ``jobs=1`` and ``jobs=N`` without changing anything downstream.
+A failed job surfaces as a raised :class:`FarmJobError` carrying the
+structured :class:`~repro.farm.executor.JobFailure`; the farm never
+silently drops a shard.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.farm.executor import Executor, JobOutcome
+from repro.farm.jobspec import JobSpec
+
+
+class FarmJobError(ReproError):
+    """A farmed job exhausted its retries; carries the failure."""
+
+    def __init__(self, outcome: JobOutcome):
+        super().__init__(f"farm job {outcome.spec.label()} failed: "
+                         f"{outcome.failure}")
+        self.outcome = outcome
+
+
+def _payloads(executor: Executor, specs: list[JobSpec]) -> list[dict]:
+    """Run specs; return payloads in spec order or raise on any failure."""
+    outcomes = executor.run(specs)
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise FarmJobError(outcome)
+    return [outcome.payload for outcome in outcomes]
+
+
+# ---- chaos -----------------------------------------------------------------
+
+
+def farm_chaos_suite(seeds, preset: str, steps: int,
+                     executor: Executor) -> list:
+    """The chaos suite as a spec batch; returns verified ChaosReports in
+    seed order, exactly as :func:`repro.faults.run_chaos_suite` does."""
+    from repro.faults.harness import ChaosReport
+
+    specs = [JobSpec.chaos(seed=seed, preset=preset, steps=steps)
+             for seed in seeds]
+    return [ChaosReport.from_dict(payload["report"])
+            for payload in _payloads(executor, specs)]
+
+
+# ---- cache-size sweeps -----------------------------------------------------
+
+
+def farm_sweep_points(workload_name: str, policy_name: str,
+                      sizes_kib, scale: float, executor: Executor) -> list:
+    """One workload/policy across data-cache sizes, as parallel jobs;
+    returns SweepPoints identical to the serial sweep's."""
+    from repro.analysis.metrics import RunMetrics
+    from repro.analysis.sweep import SweepPoint
+
+    specs = [JobSpec.workload(workload=workload_name, policy=policy_name,
+                              scale=scale, dcache_kib=kib)
+             for kib in sizes_kib]
+    return [SweepPoint(kib, RunMetrics.from_dict(payload["metrics"]))
+            for kib, payload in zip(sizes_kib,
+                                    _payloads(executor, specs))]
+
+
+def farm_sweep_grid(workload_name: str, policy_names, sizes_kib,
+                    scale: float, executor: Executor) -> dict:
+    """Every (policy, size) point of a sweep as ONE spec batch, so the
+    whole grid shares the worker pool; returns ``{policy: [SweepPoint]}``
+    exactly as :func:`repro.analysis.sweep.run_sweep` does."""
+    from repro.analysis.metrics import RunMetrics
+    from repro.analysis.sweep import SweepPoint
+
+    grid = [(name, kib) for name in policy_names for kib in sizes_kib]
+    specs = [JobSpec.workload(workload=workload_name, policy=name,
+                              scale=scale, dcache_kib=kib)
+             for name, kib in grid]
+    points: dict = {name: [] for name in policy_names}
+    for (name, kib), payload in zip(grid, _payloads(executor, specs)):
+        points[name].append(
+            SweepPoint(kib, RunMetrics.from_dict(payload["metrics"])))
+    return points
+
+
+# ---- conformance explorer --------------------------------------------------
+
+
+def explore_shard_specs(seed: int, sequences: int, cache_pages: int,
+                        shards: int) -> list[JobSpec]:
+    """Split one explorer sweep into ``shards`` independently seeded
+    explorers whose sequence counts sum to ``sequences``.  Shard ``i``
+    uses seed ``seed + i`` — a deterministic function of the arguments,
+    so the same (seed, sequences, shards) triple always produces the
+    same spec batch and therefore the same merged report."""
+    shards = max(1, min(shards, sequences or 1))
+    base, extra = divmod(sequences, shards)
+    return [JobSpec.explore(seed=seed + i, sequences=base + (1 if i < extra
+                                                             else 0),
+                            cache_pages=cache_pages)
+            for i in range(shards) if base + (1 if i < extra else 0)]
+
+
+def farm_explore(seed: int, sequences: int, cache_pages: int,
+                 executor: Executor, shards: int | None = None):
+    """A sharded explorer sweep; returns the merged ExplorationReport
+    (coverage merged, counterexamples concatenated)."""
+    from repro.conformance.explorer import (ExplorationReport,
+                                            merge_exploration_reports)
+
+    specs = explore_shard_specs(seed, sequences, cache_pages,
+                                shards or executor.jobs)
+    reports = [ExplorationReport.from_dict(payload["report"])
+               for payload in _payloads(executor, specs)]
+    return merge_exploration_reports(reports)
+
+
+# ---- exhaustive checker ----------------------------------------------------
+
+
+def farm_exhaustive(num_cache_pages: int, depth: int, executor: Executor,
+                    shard_depth: int = 1):
+    """The bounded exhaustive check, sharded by event-index prefix;
+    returns the merged CheckReport covering the full sequence space."""
+    from repro.core.exhaustive import (CheckReport, merge_reports,
+                                       shard_prefixes)
+
+    specs = [JobSpec.exhaustive(num_cache_pages=num_cache_pages,
+                                depth=depth, prefix=prefix)
+             for prefix in shard_prefixes(num_cache_pages, shard_depth)]
+    reports = [CheckReport.from_dict(payload["report"])
+               for payload in _payloads(executor, specs)]
+    return merge_reports(reports)

@@ -41,12 +41,12 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from repro.conformance.lockstep import ConformanceMonitor
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.faults.injector import (CONSISTENCY_POINTS, DIVERGENCE_POINTS,
                                    FaultInjector, FaultPlan, FaultRule)
 from repro.hw.params import MachineConfig, small_machine
@@ -150,6 +150,25 @@ class ChaosReport:
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    def to_dict(self) -> dict:
+        """A JSON-safe encoding that :meth:`from_dict` inverts exactly —
+        the farm ships chaos reports across process and cache boundaries,
+        and the serial-vs-parallel equivalence tests compare reports via
+        this encoding."""
+        out = asdict(self)
+        out["resolutions"] = dict(self.resolutions)
+        out["points_fired"] = dict(self.points_fired)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosReport":
+        data = dict(data)
+        data["resolutions"] = Counter(data.get("resolutions", {}))
+        data["points_fired"] = Counter(data.get("points_fired", {}))
+        data["failures"] = list(data.get("failures", []))
+        data["event_summary"] = dict(data.get("event_summary", {}))
+        return cls(**data)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         status = "ok" if self.ok else "FAIL(" + "; ".join(self.failures) + ")"
@@ -328,11 +347,29 @@ def verify_report(report: ChaosReport, injector: FaultInjector,
 
 
 def run_chaos_suite(seeds, preset: str = "mixed", steps: int = 200,
+                    jobs: int = 1, executor=None,
                     **kwargs) -> list[ChaosReport]:
     """Run one chaos run per seed; every report must uphold the invariant
-    (callers assert ``all(r.ok for r in reports)``)."""
-    return [run_chaos(seed, preset=preset, steps=steps, **kwargs)
-            for seed in seeds]
+    (callers assert ``all(r.ok for r in reports)``).
+
+    With ``jobs > 1`` (or an explicit farm ``executor``) the suite runs
+    as a sharded spec batch on the simulation farm — identical reports
+    in seed order, sharding and caching per the executor — which only
+    covers the (seed, preset, steps) surface: custom kernels or machines
+    (``**kwargs``) are not content-addressable and stay serial.
+    """
+    if jobs <= 1 and executor is None:
+        return [run_chaos(seed, preset=preset, steps=steps, **kwargs)
+                for seed in seeds]
+    if kwargs:
+        raise ConfigurationError(
+            f"the farmed chaos suite shards only (seed, preset, steps); "
+            f"run jobs=1 for custom arguments {sorted(kwargs)}")
+    from repro.farm import Executor, farm_chaos_suite
+
+    if executor is None:
+        executor = Executor(jobs=jobs)
+    return farm_chaos_suite(seeds, preset, steps, executor)
 
 
 def render_suite(reports: list[ChaosReport]) -> str:

@@ -11,13 +11,22 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("table1", "table2", "table4", "table5", "micro",
-                        "run", "chaos", "conform", "trace", "metrics",
-                        "profile", "all"):
-            args = parser.parse_args(
-                [command] + (["latex-paper"]
-                             if command in ("run", "trace", "profile")
-                             else []))
+                        "run", "chaos", "conform", "sweep", "farm",
+                        "trace", "metrics", "profile", "all"):
+            extra = (["latex-paper"]
+                     if command in ("run", "trace", "profile")
+                     else ["stats"] if command == "farm" else [])
+            args = parser.parse_args([command] + extra)
             assert args.command == command
+
+    def test_farm_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--sizes", "32,64", "--jobs", "4",
+             "--cache-dir", "/tmp/c", "--no-cache",
+             "--timeout", "30", "--trace-events", "ev.jsonl"])
+        assert (args.jobs, args.cache_dir, args.no_cache) == \
+               (4, "/tmp/c", True)
+        assert args.timeout == 30.0 and args.trace_events == "ev.jsonl"
 
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,105 @@
+"""The result cache: byte-identical hits, poisoned entries self-heal.
+
+The cache's contract is *never serve a wrong answer*: a hit returns the
+exact payload the original run produced, and any entry that cannot prove
+that — truncated, tampered, mis-keyed, unparseable — is deleted and
+recomputed rather than returned.
+"""
+
+import json
+
+from repro.farm import Executor, JobSpec, ResultCache
+
+FP = "a" * 64
+
+
+def entry_path(cache, key):
+    return cache.root / f"{key}.json"
+
+
+class TestRoundTrip:
+    def test_hit_returns_the_stored_payload(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = JobSpec.chaos(seed=1)
+        payload = {"report": {"ok": True, "seed": 1}}
+        cache.put(spec.key(FP), spec, FP, payload)
+        assert cache.get(spec.key(FP)) == payload
+        assert cache.hits == 1 and cache.poisoned == 0
+
+    def test_writes_are_canonical_bytes(self, tmp_path):
+        # Two writers of the same key converge on identical bytes, so a
+        # cache-hit rerun is byte-identical to the original run.
+        cache = ResultCache(tmp_path)
+        spec = JobSpec.chaos(seed=2)
+        payload = {"b": 1, "a": [1, 2]}
+        cache.put(spec.key(FP), spec, FP, payload)
+        first = entry_path(cache, spec.key(FP)).read_bytes()
+        cache.put(spec.key(FP), spec, FP, {"a": [1, 2], "b": 1})
+        assert entry_path(cache, spec.key(FP)).read_bytes() == first
+
+    def test_miss_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1 and cache.poisoned == 0
+
+
+class TestPoisonedEntries:
+    def put_one(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = JobSpec.chaos(seed=3)
+        cache.put(spec.key(FP), spec, FP, {"report": {"ok": True}})
+        return cache, spec.key(FP)
+
+    def test_truncated_entry_is_discarded(self, tmp_path):
+        cache, key = self.put_one(tmp_path)
+        path = entry_path(cache, key)
+        path.write_bytes(path.read_bytes()[:-20])
+        assert cache.get(key) is None
+        assert cache.poisoned == 1
+        assert not path.exists()          # deleted, ready for recompute
+
+    def test_tampered_payload_fails_the_checksum(self, tmp_path):
+        cache, key = self.put_one(tmp_path)
+        path = entry_path(cache, key)
+        entry = json.loads(path.read_text())
+        entry["payload"]["report"]["ok"] = False
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None and cache.poisoned == 1
+
+    def test_miskeyed_entry_is_discarded(self, tmp_path):
+        cache, key = self.put_one(tmp_path)
+        wrong = "b" * 64
+        entry_path(cache, key).rename(entry_path(cache, wrong))
+        assert cache.get(wrong) is None and cache.poisoned == 1
+
+    def test_poisoned_entry_is_recomputed_through_the_executor(self,
+                                                              tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = Executor(jobs=1, cache=cache)
+        spec = JobSpec.selftest(mode="ok", value=7)
+        (first,) = executor.run([spec])
+        assert not first.cache_hit
+        path = entry_path(cache, spec.key(executor.fingerprint))
+        path.write_text("{ not json")
+        (again,) = executor.run([spec])
+        assert not again.cache_hit        # poisoned entry did not serve
+        assert again.payload["value"] == 7
+        assert cache.poisoned == 1
+        (third,) = executor.run([spec])   # healed: the rewrite hits
+        assert third.cache_hit and third.payload == again.payload
+
+
+class TestMaintenance:
+    def test_stats_gc_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fresh = JobSpec.chaos(seed=1)
+        stale = JobSpec.chaos(seed=2)
+        cache.put(fresh.key(FP), fresh, FP, {"r": 1})
+        cache.put(stale.key("0" * 64), stale, "0" * 64, {"r": 2})
+        stats = cache.stats(FP)
+        assert stats["entries"] == 2 and stats["stale"] == 1
+        assert stats["kinds"] == {"chaos": 2}
+        assert cache.gc(FP) == 1          # only the stale entry goes
+        assert cache.get(fresh.key(FP)) == {"r": 1}
+        assert cache.clear() == 1
+        assert cache.stats(FP)["entries"] == 0

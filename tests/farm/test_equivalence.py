@@ -1,0 +1,119 @@
+"""Serial/parallel equivalence: the farm's defining property.
+
+Every consumer wired through the farm must produce results identical to
+its historical serial loop — same counters, same reports, same bytes —
+whether the batch runs in-process, across a pool, or out of the cache.
+"""
+
+import pytest
+
+from repro.analysis.sweep import run_sweep, sweep_cache_sizes
+from repro.core.exhaustive import check_all_sequences
+from repro.farm import (Executor, JobSpec, ResultCache, farm_chaos_suite,
+                        farm_exhaustive, farm_explore)
+from repro.faults.harness import run_chaos_suite
+from repro.vm.policy import CONFIG_F
+
+SEEDS = range(4)
+STEPS = 60
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return Executor(jobs=4, timeout=120.0)
+
+
+class TestChaosEquivalence:
+    def test_parallel_suite_matches_serial(self, pool):
+        serial = run_chaos_suite(SEEDS, preset="mixed", steps=STEPS)
+        farmed = run_chaos_suite(SEEDS, preset="mixed", steps=STEPS,
+                                 executor=pool)
+        assert [r.to_dict() for r in farmed] == \
+               [r.to_dict() for r in serial]
+
+    def test_jobs_argument_routes_through_the_farm(self):
+        serial = run_chaos_suite(SEEDS, preset="transient", steps=STEPS)
+        farmed = run_chaos_suite(SEEDS, preset="transient", steps=STEPS,
+                                 jobs=2)
+        assert [r.to_dict() for r in farmed] == \
+               [r.to_dict() for r in serial]
+
+
+class TestSweepEquivalence:
+    SIZES = (32, 64)
+
+    def test_parallel_sweep_matches_serial(self, pool):
+        serial = sweep_cache_sizes("kernel-build", CONFIG_F, self.SIZES,
+                                   scale=0.1)
+        farmed = sweep_cache_sizes("kernel-build", CONFIG_F, self.SIZES,
+                                   scale=0.1, executor=pool)
+        assert farmed == serial           # dataclass equality, all counters
+
+    def test_grid_sweep_matches_serial(self, pool):
+        serial = run_sweep("kernel-build", ("A", "F"), self.SIZES,
+                           scale=0.1)
+        farmed = run_sweep("kernel-build", ("A", "F"), self.SIZES,
+                           scale=0.1, executor=pool)
+        assert farmed == serial
+
+
+class TestExplorerEquivalence:
+    def test_sharded_sweep_is_pool_invariant(self, pool):
+        # The same shard batch through a serial and a parallel executor:
+        # identical merged report, complete arc coverage.
+        serial = farm_explore(0, 40, 3, Executor(jobs=1), shards=4)
+        farmed = farm_explore(0, 40, 3, pool, shards=4)
+        assert farmed.to_dict() == serial.to_dict()
+        assert farmed.ok and farmed.sequences == 40
+        assert farmed.coverage.complete
+
+
+class TestExhaustiveEquivalence:
+    def test_sharded_check_covers_the_full_space(self, pool):
+        full = check_all_sequences(num_cache_pages=2, depth=4)
+        merged = farm_exhaustive(2, 4, pool)
+        assert merged.ok == full.ok
+        assert merged.sequences == full.sequences
+        assert merged.depth == full.depth
+
+
+class TestCacheEquivalence:
+    def test_cache_hit_rerun_is_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run = lambda: Executor(jobs=1, cache=cache)  # noqa: E731
+        first = farm_chaos_suite(SEEDS, "mixed", STEPS, run())
+        stored = {p.name: p.read_bytes()
+                  for p in tmp_path.glob("*.json")}
+        assert len(stored) == len(list(SEEDS))
+
+        executor = run()
+        again = farm_chaos_suite(SEEDS, "mixed", STEPS, executor)
+        assert executor.stats.cache_hits == len(list(SEEDS))
+        assert [r.to_dict() for r in again] == \
+               [r.to_dict() for r in first]
+        # The rerun rewrote nothing: every entry is the original bytes.
+        assert {p.name: p.read_bytes()
+                for p in tmp_path.glob("*.json")} == stored
+
+    def test_injected_failstop_is_a_result_not_a_failure(self, tmp_path):
+        # A fault plan that fail-stops the run is detection — the spec's
+        # deterministic outcome — so the farm records it as a payload
+        # instead of burning retries on an infrastructure failure.
+        spec = JobSpec.workload(workload="afs-bench", policy="F",
+                                scale=0.25,
+                                inject="disk.read.transient:0.1:2",
+                                seed=7)
+        (serial,) = Executor(jobs=1).run([spec])
+        (pooled,) = Executor(jobs=2, timeout=120.0).run([spec])
+        assert serial.ok and serial.attempts == 1
+        assert serial.payload["failstop"]["type"] == "DiskIOError"
+        assert pooled.payload == serial.payload
+
+    def test_cached_workload_payload_is_exact(self, tmp_path):
+        spec = JobSpec.workload(workload="afs-bench", policy="F",
+                                scale=0.1)
+        cache = ResultCache(tmp_path)
+        (miss,) = Executor(jobs=1, cache=cache).run([spec])
+        (hit,) = Executor(jobs=1, cache=cache).run([spec])
+        assert hit.cache_hit
+        assert hit.payload == miss.payload

@@ -1,0 +1,108 @@
+"""The job model: frozen, canonical, content-addressable.
+
+A JobSpec must be a *value*: hashable, order-insensitive in its
+parameters, stable under a JSON round trip, and hashing to a different
+key the moment anything that could change the result changes — the
+parameters, the schema, or the code fingerprint.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.farm import JobSpec
+
+scalars = (st.none() | st.booleans() | st.integers(-2**31, 2**31)
+           | st.floats(allow_nan=False, allow_infinity=False)
+           | st.text("abcxyz_-/ ", max_size=12))
+param_names = st.text("abcdefghij", min_size=1, max_size=8)
+params = st.dictionaries(
+    param_names,
+    scalars | st.lists(scalars.filter(lambda v: v is not None), max_size=3),
+    max_size=5)
+
+
+class TestConstruction:
+    def test_specs_are_hashable_values(self):
+        a = JobSpec.chaos(seed=7, preset="mixed", steps=100)
+        b = JobSpec.chaos(seed=7, preset="mixed", steps=100)
+        assert a == b and hash(a) == hash(b)
+        assert {a: "x"}[b] == "x"
+
+    def test_parameter_order_is_irrelevant(self):
+        a = JobSpec.make("selftest", alpha=1, beta=2)
+        b = JobSpec.make("selftest", beta=2, alpha=1)
+        assert a == b and a.canonical() == b.canonical()
+
+    def test_none_parameters_are_dropped(self):
+        # Absent == default, so a spec written before a parameter existed
+        # keys identically to one passing the parameter's default None.
+        assert (JobSpec.workload(workload="afs-bench", policy="F", scale=1.0)
+                == JobSpec.make("workload", workload="afs-bench",
+                                policy="F", scale=1.0, dcache_kib=None))
+
+    def test_conform_false_is_absent(self):
+        spec = JobSpec.workload(workload="afs-bench", policy="F", scale=1.0,
+                                conform=False)
+        assert spec.get("conform") is None
+
+    def test_non_scalar_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec.make("selftest", bad={"nested": 1})
+        with pytest.raises(ConfigurationError):
+            JobSpec.make("selftest", bad=[[1, 2]])
+
+    def test_access(self):
+        spec = JobSpec.chaos(seed=3)
+        assert spec["seed"] == 3
+        assert spec.get("missing", 42) == 42
+        with pytest.raises(KeyError):
+            spec["missing"]
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        spec = JobSpec.exhaustive(num_cache_pages=2, depth=5, prefix=(1, 0))
+        again = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+        assert again.canonical() == spec.canonical()
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params)
+    def test_round_trip_any_flat_params(self, kwargs):
+        spec = JobSpec.make("selftest", **kwargs)
+        again = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+        assert again.canonical() == spec.canonical()
+
+    def test_canonical_is_deterministic_bytes(self):
+        spec = JobSpec.chaos(seed=0, preset="mixed", steps=200)
+        assert spec.canonical() == spec.canonical()
+        assert " " not in spec.canonical()
+
+    def test_label_names_the_kind(self):
+        assert JobSpec.chaos(seed=9).label().startswith("chaos(")
+
+
+class TestKeys:
+    FP = "f" * 64
+
+    def test_key_is_stable(self):
+        spec = JobSpec.chaos(seed=1)
+        assert spec.key(self.FP) == JobSpec.chaos(seed=1).key(self.FP)
+
+    def test_key_changes_with_params(self):
+        assert (JobSpec.chaos(seed=1).key(self.FP)
+                != JobSpec.chaos(seed=2).key(self.FP))
+        assert (JobSpec.chaos(seed=1, steps=100).key(self.FP)
+                != JobSpec.chaos(seed=1, steps=200).key(self.FP))
+
+    def test_key_changes_with_kind_and_fingerprint(self):
+        a = JobSpec.make("alpha", seed=1)
+        b = JobSpec.make("beta", seed=1)
+        assert a.key(self.FP) != b.key(self.FP)
+        assert a.key(self.FP) != a.key("0" * 64)

@@ -6,7 +6,8 @@ import importlib
 import pytest
 
 PACKAGES = ["repro", "repro.core", "repro.hw", "repro.vm", "repro.kernel",
-            "repro.workloads", "repro.analysis", "repro.conformance"]
+            "repro.workloads", "repro.analysis", "repro.conformance",
+            "repro.farm"]
 
 
 class TestPublicSurface:
