@@ -18,6 +18,10 @@ Usage::
                           [--sizes 32,64,128,256] [--jobs N] [--out FILE]
     python -m repro farm {stats,gc,clear,run} [--specs FILE] [--jobs N]
     python -m repro trace <workload> [--out FILE] [--diff GOLDEN]
+    python -m repro trace compile <workload> --out FILE [--policy F]
+                          [--inject PLAN --seed N] [--conform]
+                          [--trace-events]
+    python -m repro trace replay <FILE> [--exact] [--events-out FILE]
     python -m repro metrics [workload|micro] [--format json|prom]
     python -m repro profile <workload> [--policy F] [--scale 1.0]
     python -m repro all [--scale 1.0]
@@ -32,7 +36,12 @@ engine (see docs/conformance.md): an explorer sweep, an arc-coverage run,
 and live shadowing of the paper workloads — or, with ``--mutant``,
 demonstrates detection and shrinking against a seeded bug.  ``trace``
 records a workload's consistency event trace, optionally writing it as
-JSON lines or diffing it against a golden artifact.  ``metrics`` runs a
+JSON lines or diffing it against a golden artifact; ``trace compile``
+lowers a whole run into a replayable op-stream artifact (composing with
+``--inject``/``--conform``/``--trace-events``) and ``trace replay``
+re-executes one through the batched interpreter, verifying bit-identical
+counters, clock and event hashes (see docs/trace-compiler.md).
+``metrics`` runs a
 workload (or the alignment microbenchmark) and exports the complete
 counter state as JSON or Prometheus text; ``profile`` runs a workload
 under the cycle-attribution profiler and prints the cycle flamegraph;
@@ -450,6 +459,11 @@ def _cmd_farm(args) -> None:
 
 
 def _cmd_trace(args) -> None:
+    if args.target == "compile":
+        return _cmd_trace_compile(args)
+    if args.target == "replay":
+        return _cmd_trace_replay(args)
+
     from repro.analysis.trace import Tracer, diff_traces
     from repro.kernel.kernel import Kernel
 
@@ -457,9 +471,9 @@ def _cmd_trace(args) -> None:
     kernel = Kernel(policy=policy, config=evaluation_machine(),
                     buffer_cache_pages=48)
     with Tracer(kernel) as tracer:
-        run_workload(make_workload(args.workload, args.scale), policy,
+        run_workload(make_workload(args.target, args.scale), policy,
                      kernel=kernel)
-    print(f"{args.workload} under configuration {policy.name}: "
+    print(f"{args.target} under configuration {policy.name}: "
           f"{len(tracer.events)} events")
     summary = tracer.summary()
     for kind in sorted(k for k in summary if ":" not in k):
@@ -475,6 +489,50 @@ def _cmd_trace(args) -> None:
             print(diff.render())
             raise SystemExit(1)
         print(f"trace matches {args.diff} ({len(golden)} events)")
+
+
+def _cmd_trace_compile(args) -> None:
+    from repro.trace import compile_workload, save_trace
+
+    if args.arg not in WORKLOAD_NAMES:
+        raise SystemExit("trace compile: give a workload name "
+                         f"(one of {', '.join(WORKLOAD_NAMES)})")
+    if not args.out:
+        raise SystemExit("trace compile: --out FILE is required")
+    policy = by_name(args.policy)
+    trace = compile_workload(make_workload(args.arg, args.scale), policy,
+                             inject=args.inject, seed=args.seed,
+                             conform=args.conform,
+                             trace_events=args.record_events)
+    save_trace(args.out, trace)
+    print(f"compiled {args.arg}/{policy.name} at scale {args.scale}: "
+          f"{len(trace.ops)} ops, {len(trace.values)} values, "
+          f"{trace.n_events} events -> {args.out}")
+    if args.conform:
+        print(f"conformance divergences recorded: "
+              f"{trace.meta['divergences']}")
+
+
+def _cmd_trace_replay(args) -> None:
+    from repro.trace import load_trace, replay_trace
+
+    if not args.arg:
+        raise SystemExit("trace replay: give a trace artifact path")
+    trace = load_trace(args.arg)
+    result = replay_trace(trace, batched=not args.exact)
+    print(f"replayed {trace.meta.get('workload')}: {result.n_ops} ops, "
+          f"clock {result.clock}, {result.batches} fused windows "
+          f"({result.batched_ops} ops, {result.fallbacks} fallbacks), "
+          f"{result.n_events} events")
+    if args.events_out and result.events_jsonl is not None:
+        with open(args.events_out, "w") as handle:
+            handle.write(result.events_jsonl)
+        print(f"wrote replayed events to {args.events_out}")
+    print(f"equivalent: {'true' if result.equivalent else 'FALSE'}")
+    if not result.equivalent:
+        for mismatch in result.mismatches:
+            print(f"  {mismatch}")
+        raise SystemExit(1)
 
 
 def _cmd_metrics(args) -> None:
@@ -647,15 +705,40 @@ def build_parser() -> argparse.ArgumentParser:
     add_farm_args(p)
 
     p = add("trace", _cmd_trace,
-            "record a workload's consistency event trace")
-    p.add_argument("workload", choices=list(WORKLOAD_NAMES))
+            "record an event trace, or compile/replay an op-stream trace")
+    p.add_argument("target",
+                   choices=list(WORKLOAD_NAMES) + ["compile", "replay"],
+                   help="a workload name records its consistency event "
+                        "trace; 'compile' lowers a run to a replayable "
+                        "op-stream artifact; 'replay' re-executes one "
+                        "and verifies bit-identical counters/clock")
+    p.add_argument("arg", nargs="?", metavar="ARG",
+                   help="compile: the workload to record; replay: the "
+                        "trace artifact path")
     p.add_argument("--policy", default="F")
     p.add_argument("--scale", type=float, default=0.25)
     p.add_argument("--out", metavar="FILE",
-                   help="write the trace as JSON lines")
+                   help="event trace: write JSON lines; compile: the "
+                        "trace artifact to write (required)")
     p.add_argument("--diff", metavar="GOLDEN",
                    help="diff against a golden .jsonl trace; exit 1 and "
                         "pinpoint the first diverging event on mismatch")
+    p.add_argument("--inject", metavar="PLAN",
+                   help="compile: arm the fault injector; its effects "
+                        "are baked into the recorded stream")
+    p.add_argument("--seed", type=int, default=0,
+                   help="compile: injection plan seed")
+    p.add_argument("--conform", action="store_true",
+                   help="compile: shadow the recorded run with the "
+                        "lockstep conformance monitor")
+    p.add_argument("--trace-events", action="store_true",
+                   dest="record_events",
+                   help="compile: record the event stream; replay must "
+                        "then reproduce its JSONL hash bit for bit")
+    p.add_argument("--exact", action="store_true",
+                   help="replay: disable window fusion (exact tier only)")
+    p.add_argument("--events-out", metavar="FILE",
+                   help="replay: write the replayed event JSONL")
 
     p = add("metrics", _cmd_metrics,
             "run a workload and export the complete counter state")

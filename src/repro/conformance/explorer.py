@@ -34,13 +34,11 @@ from repro.core.cache_control import CacheControl
 from repro.core.exhaustive import event_alphabet
 from repro.core.model import ConsistencyModel
 from repro.core.page_state import PhysPageState
-from repro.core.states import Action, LineState, MemoryOp
+from repro.core.states import ACTION_EVENT, LineState, MemoryOp
 from repro.errors import ReproError
 
 #: One explorer event: (operation, target cache page or None for DMA).
 Event = tuple[MemoryOp, int | None]
-
-_ACTION_EVENT = {Action.FLUSH: MemoryOp.FLUSH, Action.PURGE: MemoryOp.PURGE}
 
 
 def apply_cache_op(state: PhysPageState, op: MemoryOp,
@@ -97,7 +95,7 @@ class LockstepPair:
         # feed them to the model first, then the raw event — which must
         # then demand nothing.
         for done in performed:
-            cache_op = _ACTION_EVENT[done.action]
+            cache_op = ACTION_EVENT[done.action]
             self._cover(cache_op, self.model.states, done.cache_page)
             self.model.apply(cache_op, done.cache_page)
         required = self.model.apply(op, target)

@@ -37,25 +37,28 @@ from dataclasses import dataclass
 from repro.core.cache_control import CacheControl
 from repro.core.model import ConsistencyModel
 from repro.core.page_state import PhysPageState
-from repro.core.states import Action, MemoryOp
+from repro.core.states import (CACHE_OP_EVENTS, CPU_EVENTS, DMA_EVENTS,
+                               Action, MemoryOp)
 
 
 def event_alphabet(num_cache_pages: int, include_cache_ops: bool = False
                    ) -> list[tuple[MemoryOp, int | None]]:
     """All distinct events over ``num_cache_pages`` cache pages.
 
-    With ``include_cache_ops`` the alphabet also carries explicit Purge
-    and Flush events per cache page (the last two rows of Table 2), which
+    Built from the module-level event groups in :mod:`repro.core.states`
+    (the one definition the conformance explorer shares).  With
+    ``include_cache_ops`` the alphabet also carries explicit Purge and
+    Flush events per cache page (the last two rows of Table 2), which
     the conformance explorer drives directly at the page-state level.
     """
     events: list[tuple[MemoryOp, int | None]] = []
-    for op in (MemoryOp.CPU_READ, MemoryOp.CPU_WRITE):
+    for op in CPU_EVENTS:
         for target in range(num_cache_pages):
             events.append((op, target))
-    events.append((MemoryOp.DMA_READ, None))
-    events.append((MemoryOp.DMA_WRITE, None))
+    for op in DMA_EVENTS:
+        events.append((op, None))
     if include_cache_ops:
-        for op in (MemoryOp.PURGE, MemoryOp.FLUSH):
+        for op in CACHE_OP_EVENTS:
             for target in range(num_cache_pages):
                 events.append((op, target))
     return events

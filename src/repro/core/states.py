@@ -68,3 +68,19 @@ class Action(enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+# The event alphabet, grouped as Table 2 groups it.  These are THE
+# module-level definitions every enumerator builds from — the exhaustive
+# checker and the conformance explorer share them (a sync test asserts
+# the derived alphabets agree), so a new event added here reaches both.
+
+#: targeted events: each pairs with a cache page (Table 2's CPU rows).
+CPU_EVENTS = (MemoryOp.CPU_READ, MemoryOp.CPU_WRITE)
+#: untargeted events: DMA acts on the physical page (Table 2's DMA rows).
+DMA_EVENTS = (MemoryOp.DMA_READ, MemoryOp.DMA_WRITE)
+#: explicit cache management (Table 2's last rows); these never *require*
+#: actions, so the exhaustive refinement check leaves them out by default.
+CACHE_OP_EVENTS = (MemoryOp.PURGE, MemoryOp.FLUSH)
+#: an engine Action rendered as the event the model consumes.
+ACTION_EVENT = {Action.PURGE: MemoryOp.PURGE, Action.FLUSH: MemoryOp.FLUSH}

@@ -81,6 +81,19 @@ class JobSpec:
                         conform=conform or None)
 
     @classmethod
+    def replay(cls, trace_path: str, exact: bool = False) -> "JobSpec":
+        """One trace replay with equivalence verification.
+
+        The artifact's SHA-256 digest is part of the spec: a path alone
+        is not content, so recompiling a trace in place changes the key
+        and invalidates any cached replay of the old bytes.
+        """
+        with open(trace_path, "rb") as handle:
+            digest = hashlib.sha256(handle.read()).hexdigest()
+        return cls.make("replay", trace=trace_path, digest=digest,
+                        exact=exact or None)
+
+    @classmethod
     def chaos(cls, seed: int, preset: str = "mixed",
               steps: int = 200) -> "JobSpec":
         return cls.make("chaos", seed=seed, preset=preset, steps=steps)

@@ -18,6 +18,12 @@ Kinds:
     plus injection and conformance summaries when armed; an injected
     run that fail-stops records the detection as a ``failstop`` payload
     (a deterministic result of the spec) rather than failing the job.
+``replay``
+    One trace replay with equivalence verification (trace path + content
+    digest, optional ``exact`` to disable window fusion); payload is the
+    replay verdict, clock, fusion statistics and event hash.  Replays
+    are pure functions of the artifact bytes, so the farm's cache makes
+    re-verifying an unchanged trace free.
 ``chaos``
     One detected-or-harmless chaos run (seed, preset, steps); payload is
     the verified :class:`ChaosReport` dict.
@@ -128,6 +134,27 @@ def _run_workload_job(spec: JobSpec) -> dict:
             "coverage": monitor.coverage.to_dict(),
         }
     return payload
+
+
+@runner("replay")
+def _run_replay_job(spec: JobSpec) -> dict:
+    from repro.trace import load_trace, replay_trace
+
+    trace = load_trace(spec["trace"])
+    result = replay_trace(trace, batched=not spec.get("exact", False))
+    return {
+        "equivalent": result.equivalent,
+        "mismatches": list(result.mismatches),
+        "clock": result.clock,
+        "n_ops": result.n_ops,
+        "batches": result.batches,
+        "batched_ops": result.batched_ops,
+        "fallbacks": result.fallbacks,
+        "n_events": result.n_events,
+        "events_sha256": result.events_sha256,
+        "workload": trace.meta.get("workload"),
+        "policy": trace.meta.get("policy"),
+    }
 
 
 @runner("chaos")

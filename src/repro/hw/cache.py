@@ -400,10 +400,12 @@ class Cache:
         dirty_match = match & self._dirty[:, sets]
         n_dirty = int(dirty_match.sum())
         if n_dirty:
+            # A physical line is unique within a set, so at most one way
+            # matches per line index: the scatter targets are distinct and
+            # the vectorized write-back is order-independent.
             ways, lines = np.nonzero(dirty_match)
-            for way, line in zip(ways, lines):
-                pa = pa_page_base + int(line) * self.geo.line_size
-                self.memory.write_line(pa, self._data[way, sets][line])
+            self.memory.write_lines(want[lines], self._data[:, sets][ways, lines],
+                                    self.geo.words_per_line)
             self.counters.write_backs += n_dirty
         self._tags[:, sets][match] = _INVALID
         self._dirty[:, sets][match] = False
@@ -529,10 +531,19 @@ class Cache:
         if not n:
             return
         idxs = np.flatnonzero(victims)
-        for line in idxs:
-            tag = int(self._tags[0, sets][line])
-            self.memory.write_line(tag * self.geo.line_size,
-                                   self._data[0, sets][line])
+        tags = self._tags[0, sets][idxs]
+        if n == 1 or len(np.unique(tags)) == n:
+            self.memory.write_lines(tags, self._data[0, sets][idxs],
+                                    self.geo.words_per_line)
+        else:
+            # Two sets hold dirty copies of the same physical line (the
+            # doubly-dirty alias hazard): preserve the word loop's
+            # last-writer-wins order, which a vectorized scatter with
+            # duplicate indices would not guarantee.
+            for line in idxs:
+                tag = int(self._tags[0, sets][line])
+                self.memory.write_line(tag * self.geo.line_size,
+                                       self._data[0, sets][line])
         self.counters.write_backs += n
         self.clock.advance(n * self.cost.write_back)
 

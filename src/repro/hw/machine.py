@@ -166,6 +166,15 @@ class Machine:
             self.oracle.check_cpu_read(paddr, value)
         return value
 
+    def _translate_run(self, asid: int, va: int, n_words: int,
+                       access: AccessKind) -> tuple[int, bool]:
+        """Translate one page segment of a run and charge the TLB hits the
+        equivalent word loop would have taken for its remaining words."""
+        paddr, uncached = self._translate(asid, va, access)
+        if n_words > 1:
+            self.tlb.note_repeat_hits(n_words - 1)
+        return paddr, uncached
+
     # ---- user-level block accesses (the batched access engine) ---------------
 
     def read_block(self, asid: int, vaddr: int, n_words: int) -> np.ndarray:
@@ -186,9 +195,7 @@ class Machine:
             va = vaddr + done * WORD_SIZE
             room = (self.page_size - va % self.page_size) // WORD_SIZE
             k = min(room, n_words - done)
-            paddr, uncached = self._translate(asid, va, AccessKind.READ)
-            if k > 1:
-                self.tlb.note_repeat_hits(k - 1)
+            paddr, uncached = self._translate_run(asid, va, k, AccessKind.READ)
             if uncached:
                 values = self.memory.read_words(paddr, k)
                 self.clock.advance(self.config.cost.uncached_word * k)
@@ -212,9 +219,8 @@ class Machine:
             va = vaddr + done * WORD_SIZE
             room = (self.page_size - va % self.page_size) // WORD_SIZE
             k = min(room, n_words - done)
-            paddr, uncached = self._translate(asid, va, AccessKind.WRITE)
-            if k > 1:
-                self.tlb.note_repeat_hits(k - 1)
+            paddr, uncached = self._translate_run(asid, va, k,
+                                                  AccessKind.WRITE)
             if self.write_notifier is not None:
                 self.write_notifier(asid, va // self.page_size)
             chunk = values[done:done + k]

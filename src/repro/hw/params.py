@@ -15,6 +15,7 @@ quirks the paper reports are encoded in :class:`CostModel`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.errors import ConfigurationError
 
@@ -62,20 +63,20 @@ class CacheGeometry:
                 "pages are well defined (the paper's first hardware "
                 "requirement, Section 4)")
 
-    @property
+    @cached_property
     def num_lines(self) -> int:
         return self.size // self.line_size
 
-    @property
+    @cached_property
     def num_sets(self) -> int:
         return self.num_lines // self.associativity
 
-    @property
+    @cached_property
     def way_span(self) -> int:
         """Bytes of address space covered by one way before indices repeat."""
         return self.num_sets * self.line_size
 
-    @property
+    @cached_property
     def num_cache_pages(self) -> int:
         """Number of cache pages: cache-way span divided by the page size.
 
@@ -84,15 +85,15 @@ class CacheGeometry:
         """
         return self.way_span // self.page_size
 
-    @property
+    @cached_property
     def lines_per_page(self) -> int:
         return self.page_size // self.line_size
 
-    @property
+    @cached_property
     def words_per_line(self) -> int:
         return self.line_size // WORD_SIZE
 
-    @property
+    @cached_property
     def words_per_page(self) -> int:
         return self.page_size // WORD_SIZE
 

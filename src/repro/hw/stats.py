@@ -37,6 +37,15 @@ class Clock:
         # seconds conversion), so reject it at the source.  Integral
         # covers both Python ints and numpy integer scalars; bool is an
         # Integral but a delta of True is always a bug.
+        if type(cycles) is int:
+            # Exact-type fast path: the batched access engine advances the
+            # clock once per run, and the two isinstance checks below are
+            # measurable there.  Plain non-negative ints skip them.
+            if cycles >= 0:
+                self.cycles += cycles
+                return
+            raise ValueError(
+                f"clock delta must be non-negative, got {cycles!r}")
         if (not isinstance(cycles, numbers.Integral)
                 or isinstance(cycles, bool)):
             raise ValueError(

@@ -105,7 +105,9 @@ class Tlb:
         if n <= 0:
             return
         self.counters.tlb_hits += n
-        self.clock.advance(self.cost.tlb_hit * n)
+        # Direct add, like the micro-cache hit path: this runs once per
+        # page segment of every block access.
+        self.clock.cycles += self.cost.tlb_hit * n
 
     def insert(self, asid: int, vpage: int, ppage: int, prot: Prot,
                uncached: bool = False) -> None:

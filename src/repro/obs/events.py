@@ -89,7 +89,7 @@ class EventBus:
     published while they are attached regardless of ring retention.
     """
 
-    __slots__ = ("clock", "enabled", "seq", "published", "_ring",
+    __slots__ = ("clock", "enabled", "seq", "published", "tap", "_ring",
                  "_subscribers")
 
     def __init__(self, clock: Clock, capacity: int = DEFAULT_CAPACITY):
@@ -97,6 +97,10 @@ class EventBus:
         self.enabled = False
         self.seq = 0              # next sequence number
         self.published = 0        # total events ever published
+        # Pre-publication hook: called as ``tap(kind, detail)`` before the
+        # event is stamped, only while enabled.  The trace recorder uses
+        # it to observe publishes without wrapping the (slotted) bus.
+        self.tap: Callable[[str, dict], None] | None = None
         self._ring: deque[Event] = deque(maxlen=capacity)
         self._subscribers: list[Callable[[Event], None]] = []
 
@@ -139,6 +143,8 @@ class EventBus:
         """
         if not self.enabled:
             return None
+        if self.tap is not None:
+            self.tap(kind, detail)
         event = Event(self.seq, self.clock.cycles, kind, detail)
         self.seq += 1
         self.published += 1

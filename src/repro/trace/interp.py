@@ -1,0 +1,893 @@
+"""The trace interpreter: a threaded-code exact tier plus fused windows.
+
+Replay rebuilds only the hardware below the kernel — physical memory, the
+two caches, the clock and counters — restores the captured start images,
+and executes the op-stream.  There is no TLB, page table, oracle,
+injector or monitor at replay time: everything those contributed to the
+clock and counters during recording is already in the stream as SYNC
+deltas, and everything they contributed to memory is there as explicit
+ops.  That asymmetry is the speedup.
+
+Execution happens in two layers:
+
+* the op-stream is first *compiled* into a threaded program — a flat list
+  of instruction tuples with every operand pre-resolved (set index and
+  physical line tag computed, value-stream slices taken, SYNC counter
+  deltas parsed into attribute adds, flush reasons interned).  Hot
+  single-line runs and SYNC deltas become specialized instructions whose
+  handlers are a few scalar operations; everything else becomes a direct
+  call into the very same :class:`~repro.hw.cache.Cache` methods the live
+  machine uses, so equivalence there is inherited rather than argued;
+* maximal windows of contiguous ``*_READ_RUN``/``*_WRITE_RUN`` (and
+  interleaved ``SYNC``) ops whose set ranges are pairwise disjoint are
+  fused into single vectorized cache transactions when they cover enough
+  words to pay the fixed numpy cost.  Anything consistency-relevant —
+  flush, purge, DMA memory writes, bus events, page ops — is a window
+  boundary and always executes on the exact tier.
+
+A window is *statically* legal when its cache is direct-mapped and
+write-back and its runs touch pairwise-disjoint set ranges (SYNC deltas
+are purely additive, so they commute to the window end).  It is
+*dynamically* legal when, probed against the live tags, every victim
+line is unique and no victim is also wanted by the window — otherwise
+write-back/fill ordering between runs would matter, and the window falls
+back to per-op execution of its member instructions.  The fallback is
+checked before any mutation, so it is always safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from functools import partial
+
+import numpy as np
+
+from repro.hw.cache import RUN_FALLBACK_WORDS, _INVALID, Cache
+from repro.hw.params import WORD_SIZE, CacheGeometry, CostModel
+from repro.hw.physmem import PhysicalMemory
+from repro.hw.stats import Clock, Counters, FaultKind, Reason
+from repro.obs.events import EventBus
+from repro.trace.format import (
+    COUNTER_KIND_FIELDS, COUNTER_PAIR_FIELDS, OP_BUS, OP_D_FLUSH,
+    OP_D_INVAL, OP_D_PURGE, OP_D_READ_PAGE, OP_D_READ_RUN, OP_D_WRITE_PAGE,
+    OP_D_WRITE_RUN, OP_D_ZERO_PAGE, OP_I_FLUSH, OP_I_INVAL, OP_I_PURGE,
+    OP_I_READ_PAGE, OP_I_READ_RUN, OP_I_WRITE_PAGE, OP_I_WRITE_RUN,
+    OP_I_ZERO_PAGE, OP_MEM_WRITE, OP_SYNC, REASONS, Trace, TraceFormatError,
+    apply_counters_delta, diff_counters, encode_counters,
+)
+
+#: fuse a window only when it holds at least this many runs *and* covers
+#: at least this many words; smaller windows execute on the exact tier
+#: (the fixed per-batch numpy overhead would not pay for itself).
+MIN_BATCH_RUNS = 4
+MIN_BATCH_WORDS = 256
+
+#: open a window only at a run of at least this many words.  Streams of
+#: short runs (a few words between consistency ops) can never reach
+#: ``MIN_BATCH_WORDS`` before a boundary closes them, so tracking window
+#: state for them is pure compile-time overhead; a run this long signals
+#: a bulk-copy phase where fusion has a chance to pay.
+MIN_OPEN_WORDS = 16
+
+#: opcode -> (cache index, is_write) for the batchable run ops.
+_BATCHABLE = {OP_D_READ_RUN: (0, False), OP_D_WRITE_RUN: (0, True),
+              OP_I_READ_RUN: (1, False), OP_I_WRITE_RUN: (1, True)}
+
+# Threaded-program instruction codes (first element of each tuple).
+# SYNC instructions appear only on the events path: without a bus, every
+# instruction executes exactly once, so all SYNC effects are summed at
+# compile time and applied after execution (see ``_Deferred``).
+_SYNC_CLOCK = 0     # (op, clock_delta)
+_SYNC_TLB = 1       # (op, clock_delta, tlb_hits)
+_SYNC_DELTA = 2     # (op, clock_delta, scalar_adds, counter_adds)
+_D_READ1 = 3        # (op, set, tag, n_words)
+_D_WRITE1 = 4       # (op, set, tag, n_words, first_word, values_view)
+_I_READ1 = 5        # (op, set, tag, n_words)
+_CALL = 6           # (op, callable, args_tuple)
+_BATCH = 7          # (op, _BatchItem, member_instructions)
+_FLUSH = 8          # (op, pack, s0, s1, want, cell)
+_PURGE = 9          # (op, pack, s0, s1, want, cell, const_cycles)
+_RPAGE = 10         # (op, pack, s0, s1, want)
+_WPAGE = 11         # (op, pack, s0, s1, want, values_page_view)
+
+
+@dataclass
+class _SubBatch:
+    """One cache's share of a fused window (line-granularity arrays)."""
+
+    cache_idx: int
+    sets: np.ndarray       # unique set indices, one per line
+    want: np.ndarray       # wanted physical line tags, aligned with sets
+    is_write: np.ndarray   # bool per line: belongs to a write run
+    lru_rel: np.ndarray    # LRU stamps relative to the cache tick at entry
+    total_words: int
+    words_read: int
+    words_written: int
+    write_slices: list     # (flat word offset into _data[0], n_words, vpos)
+
+
+@dataclass
+class _BatchItem:
+    n_ops: int
+    subs: list
+    sync_clock: int
+    sync_delta: dict
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of a replay, including the equivalence verdict."""
+
+    equivalent: bool
+    mismatches: list
+    clock: int
+    counters: Counters
+    counters_state: dict
+    n_ops: int
+    batches: int = 0
+    batched_ops: int = 0
+    fallbacks: int = 0
+    n_events: int = 0
+    events_sha256: str | None = None
+    events_jsonl: str | None = field(default=None, repr=False)
+    memory: PhysicalMemory | None = field(default=None, repr=False)
+    dcache: Cache | None = field(default=None, repr=False)
+    icache: Cache | None = field(default=None, repr=False)
+
+
+def _merge_delta(acc: dict, delta: dict, times: int = 1) -> None:
+    """Additively merge ``times`` copies of a sparse counters delta."""
+    for name, value in delta.items():
+        if isinstance(value, dict):
+            sub = acc.setdefault(name, {})
+            for key, n in value.items():
+                sub[key] = sub.get(key, 0) + n * times
+        else:
+            acc[name] = acc.get(name, 0) + value * times
+
+
+@dataclass
+class _Deferred:
+    """Compile-time-summed effects applied once after execution.
+
+    Without an event bus nothing observes the clock or counters between
+    instructions, and every instruction executes exactly once — so the
+    SYNC ops' clock and counter deltas are constants of the *program*,
+    not of its execution, and the per-reason flush/purge tallies can
+    accumulate in plain list cells (one per distinct reason) instead of
+    hashing a ``(cache, Reason)`` key per operation.
+    """
+
+    sync_clock: int = 0
+    sync_aux: dict = field(default_factory=dict)    # sidecar idx -> count
+    flush_cells: dict = field(default_factory=dict)  # key -> [n, cycles]
+    purge_cells: dict = field(default_factory=dict)
+
+    def apply(self, clock: Clock, counters: Counters, sidecar) -> None:
+        clock.cycles += self.sync_clock
+        total: dict = {}
+        for aux, times in self.sync_aux.items():
+            _merge_delta(total, sidecar[aux], times)
+        apply_counters_delta(counters, total)
+        for (pairs, cells) in (
+                ((counters.page_flushes, counters.flush_cycles),
+                 self.flush_cells),
+                ((counters.page_purges, counters.purge_cycles),
+                 self.purge_cells)):
+            count_ctr, cycle_ctr = pairs
+            for key, (n, cycles) in cells.items():
+                count_ctr[key] += n
+                cycle_ctr[key] += cycles
+
+
+def _compile_sync(counters: Counters, delta: dict):
+    """Pre-parse one sidecar counters delta into instruction operands.
+
+    Returns ``("tlb", n)`` for the overwhelmingly common pure-TLB-hit
+    delta, else ``(scalar_adds, counter_adds)`` with enum keys resolved
+    once instead of on every application.
+    """
+    if len(delta) == 1 and "tlb_hits" in delta:
+        return ("tlb", delta["tlb_hits"])
+    scalars = []
+    ctr = []
+    for name, value in delta.items():
+        if name in COUNTER_PAIR_FIELDS:
+            counter = getattr(counters, name)
+            for key, n in value.items():
+                cache, reason = key.split("|", 1)
+                ctr.append((counter, (cache, Reason(reason)), n))
+        elif name in COUNTER_KIND_FIELDS:
+            counter = getattr(counters, name)
+            for key, n in value.items():
+                ctr.append((counter, FaultKind(key), n))
+        else:
+            scalars.append((name, value))
+    return (tuple(scalars), tuple(ctr))
+
+
+class _Window:
+    """Accumulator for one candidate fused window during compilation."""
+
+    __slots__ = ("members", "runs", "ivs", "ticks", "words", "syncs",
+                 "n_ops")
+
+    def __init__(self):
+        self.members: list = []         # exact-tier instructions (fallback)
+        # per-run shape tuples: (cache, s0, n_lines, tag0, fw, ln, is_w,
+        #                        vp, rel_tick)
+        self.runs: list = []
+        self.ivs = ([], [])             # per cache: sorted (s0, s1) spans
+        self.ticks = [0, 0]             # per cache: words so far (tick rel)
+        self.words = 0
+        self.syncs: list = []           # (clock_delta, sidecar_idx) pairs
+        self.n_ops = 0
+
+    def admits(self, cache_idx: int, s0: int, s1: int) -> bool:
+        """True when the span is disjoint from every accepted span."""
+        ivs = self.ivs[cache_idx]
+        lo, hi = 0, len(ivs)
+        while lo < hi:                  # bisect on span starts
+            mid = (lo + hi) // 2
+            if ivs[mid][0] < s0:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo > 0 and ivs[lo - 1][1] > s0:
+            return False
+        if lo < len(ivs) and ivs[lo][0] < s1:
+            return False
+        ivs.insert(lo, (s0, s1))
+        return True
+
+
+def _materialize(win: _Window, wpls: tuple[int, int],
+                 sidecar: list) -> _BatchItem:
+    """Build the vectorized arrays for a qualifying window.
+
+    The window's SYNC ops are merged here, once per *qualifying* window,
+    rather than incrementally during compilation (almost no window
+    qualifies, so eager merging would be wasted work).
+    """
+    sync_clock = 0
+    sync_delta: dict = {}
+    for clock_delta, aux in win.syncs:
+        sync_clock += clock_delta
+        if aux >= 0:
+            _merge_delta(sync_delta, sidecar[aux])
+    subs = []
+    for cache_idx in (0, 1):
+        runs = [r for r in win.runs if r[0] == cache_idx]
+        if not runs:
+            continue
+        sets_parts, want_parts, isw_parts, lru_parts = [], [], [], []
+        wr = ww = 0
+        wslices = []
+        wpl = wpls[cache_idx]
+        for (_, s0, n_lines, tag0, fw, ln, is_w, vp, rel_tick) in runs:
+            sets_parts.append(np.arange(s0, s0 + n_lines, dtype=np.int64))
+            want_parts.append(np.arange(tag0, tag0 + n_lines,
+                                        dtype=np.int64))
+            isw_parts.append(np.full(n_lines, is_w, dtype=bool))
+            if n_lines == 1:
+                counts = np.array([ln], dtype=np.int64)
+            else:
+                counts = np.full(n_lines, wpl, dtype=np.int64)
+                counts[0] = wpl - fw
+                counts[-1] = ln - counts[0] - (n_lines - 2) * wpl
+            lru_parts.append(rel_tick + np.cumsum(counts))
+            if is_w:
+                ww += ln
+                wslices.append((s0 * wpl + fw, ln, vp))
+            else:
+                wr += ln
+        subs.append(_SubBatch(cache_idx, np.concatenate(sets_parts),
+                              np.concatenate(want_parts),
+                              np.concatenate(isw_parts),
+                              np.concatenate(lru_parts),
+                              wr + ww, wr, ww, wslices))
+    return _BatchItem(win.n_ops, subs, sync_clock, sync_delta)
+
+
+def _compile(rows, values, sidecar, dcache, icache, memory, clock,
+             counters, bus, batched: bool):
+    """Lower the op-stream into a threaded program for this machine.
+
+    Every instruction operand is resolved against the live replay state
+    (array views, bound methods, interned enum keys), so execution is a
+    tight dispatch loop with no per-op parsing.  Returns ``(program,
+    words_consumed)``.
+    """
+    geos = (dcache.geo, icache.geo)
+    # The specialized single-line instructions and the fused windows both
+    # assume direct-mapped write-back semantics.
+    fast = tuple(g.associativity == 1 and not g.write_through for g in geos)
+    line_size = tuple(g.line_size for g in geos)
+    num_sets = tuple(g.num_sets for g in geos)
+    wpls = tuple(g.words_per_line for g in geos)
+    phys_idx = tuple(g.physically_indexed for g in geos)
+    caches = (dcache, icache)
+    zeros = tuple(np.zeros(g.words_per_page, dtype=np.uint64) for g in geos)
+    read1_code = (_D_READ1, _I_READ1)
+    lpp = tuple(g.lines_per_page for g in geos)
+    # Per-cache view pack for the specialized page-granularity
+    # instructions: 1-D tag/dirty views, line-shaped data and memory
+    # views, lines per page, and the all-hit page access cost.
+    cost = dcache.cost
+    packs = tuple(
+        (c._tags[0], c._dirty[0], c._data[0],
+         memory._words.reshape(-1, g.words_per_line), g.lines_per_page,
+         g.words_per_page * cost.cache_hit)
+        for c, g in zip(caches, geos))
+
+    sync_cache: dict[int, tuple] = {}
+    prog: list = []
+    win: _Window | None = None
+    vpos = 0
+    deferred = _Deferred()
+    # Events need the clock exact at every publish, so the events path
+    # keeps SYNC as in-stream instructions; otherwise SYNC is summed at
+    # compile time (every instruction runs exactly once) and applied once.
+    defer = bus is None
+    sync_aux = deferred.sync_aux
+
+    def close_window():
+        nonlocal win
+        if win is None:
+            return
+        if (len(win.runs) >= MIN_BATCH_RUNS
+                and win.words >= MIN_BATCH_WORDS):
+            prog.append((_BATCH, _materialize(win, wpls, sidecar),
+                         tuple(win.members)))
+        else:
+            prog.extend(win.members)
+        win = None
+
+    for op, asid, va, ln, aux in rows:
+        if op == OP_SYNC:
+            if defer:
+                deferred.sync_clock += va
+                if aux >= 0:
+                    sync_aux[aux] = sync_aux.get(aux, 0) + 1
+                continue
+            if aux < 0:
+                instr = (_SYNC_CLOCK, va)
+            else:
+                compiled = sync_cache.get(aux)
+                if compiled is None:
+                    compiled = sync_cache[aux] = _compile_sync(
+                        counters, sidecar[aux])
+                if compiled[0] == "tlb":
+                    instr = (_SYNC_TLB, va, compiled[1])
+                else:
+                    instr = (_SYNC_DELTA, va, compiled[0], compiled[1])
+            if win is not None:
+                win.members.append(instr)
+                win.syncs.append((va, aux))
+                win.n_ops += 1
+            else:
+                prog.append(instr)
+            continue
+        info = _BATCHABLE.get(op)
+        if info is not None:
+            cache_idx, is_write = info
+            if fast[cache_idx]:
+                ls = line_size[cache_idx]
+                tag0 = aux // ls
+                n_lines = (aux + (ln - 1) * WORD_SIZE) // ls - tag0 + 1
+                addr = aux if phys_idx[cache_idx] else va
+                s0 = (addr // ls) % num_sets[cache_idx]
+                fw = (aux % ls) // WORD_SIZE
+                # Exact-tier instruction for this run.
+                if is_write:
+                    vals = values[vpos:vpos + ln]
+                    vp = vpos
+                    vpos += ln
+                    if n_lines == 1 and cache_idx == 0:
+                        instr = (_D_WRITE1, s0, tag0, ln, fw, vals)
+                    else:
+                        instr = (_CALL, caches[cache_idx].write_run,
+                                 (va, aux, vals))
+                else:
+                    vp = 0
+                    if n_lines == 1:
+                        instr = (read1_code[cache_idx], s0, tag0, ln)
+                    else:
+                        instr = (_CALL, caches[cache_idx].read_run,
+                                 (va, aux, ln))
+                if batched and (win is not None or ln >= MIN_OPEN_WORDS):
+                    if win is None:
+                        win = _Window()
+                    if not win.admits(cache_idx, s0, s0 + n_lines):
+                        close_window()
+                        win = _Window()
+                        win.admits(cache_idx, s0, s0 + n_lines)
+                    win.members.append(instr)
+                    win.runs.append((cache_idx, s0, n_lines, tag0, fw, ln,
+                                     is_write, vp,
+                                     win.ticks[cache_idx]))
+                    win.ticks[cache_idx] += ln
+                    win.words += ln
+                    win.n_ops += 1
+                else:
+                    prog.append(instr)
+                continue
+            # Associative or write-through: generic, never fused.
+            close_window()
+            if is_write:
+                vals = values[vpos:vpos + ln]
+                vpos += ln
+                prog.append((_CALL, caches[cache_idx].write_run,
+                             (va, aux, vals)))
+            else:
+                prog.append((_CALL, caches[cache_idx].read_run,
+                             (va, aux, ln)))
+            continue
+        # Everything below is a consistency-relevant boundary.
+        close_window()
+        if op == OP_MEM_WRITE:
+            vals = values[vpos:vpos + ln]
+            vpos += ln
+            prog.append((_CALL, memory.write_words, (va, vals)))
+        elif op == OP_BUS:
+            if bus is not None:
+                entry = sidecar[aux]
+                prog.append((_CALL, partial(bus.publish, entry["k"],
+                                            **entry["d"]), ()))
+        elif op <= OP_D_INVAL:
+            cache_idx = 0
+        elif op <= OP_I_INVAL:
+            cache_idx = 1
+        else:
+            raise TraceFormatError(f"unknown opcode {op}")
+        if op == OP_MEM_WRITE or op == OP_BUS:
+            continue
+        cache = caches[cache_idx]
+        base = op - (OP_D_READ_PAGE if cache_idx == 0 else OP_I_READ_PAGE)
+        if base == 5:                                   # *_INVAL
+            prog.append((_CALL, cache.invalidate_all, ()))
+            continue
+        if not fast[cache_idx]:
+            # Associative / write-through caches take the generic methods.
+            if base == 0:
+                prog.append((_CALL, cache.read_page, (va, aux)))
+            elif base == 1:
+                vals = values[vpos:vpos + ln]
+                vpos += ln
+                prog.append((_CALL, cache.write_page, (va, aux, vals)))
+            elif base == 2:
+                prog.append((_CALL, cache.write_page,
+                             (va, aux, zeros[cache_idx])))
+            elif base == 3:
+                prog.append((_CALL, cache.flush_page_frame,
+                             (va, aux, REASONS[asid])))
+            else:
+                prog.append((_CALL, cache.purge_page_frame,
+                             (va, aux, REASONS[asid])))
+            continue
+        pack = packs[cache_idx]
+        want = cache._page_tags(aux)
+        if base >= 3:                                   # flush / purge
+            s0 = va * lpp[cache_idx]
+            s1 = s0 + lpp[cache_idx]
+            if bus is not None:
+                # The events path must publish with exact per-op fields;
+                # keep it on the cache methods.
+                method = (cache.flush_page_frame if base == 3
+                          else cache.purge_page_frame)
+                prog.append((_CALL, method, (va, aux, REASONS[asid])))
+            elif base == 3:
+                key = (cache.name, REASONS[asid])
+                cell = deferred.flush_cells.get(key)
+                if cell is None:
+                    cell = deferred.flush_cells[key] = [0, 0]
+                prog.append((_FLUSH, pack, s0, s1, want, cell))
+            else:
+                key = (cache.name, REASONS[asid])
+                cell = deferred.purge_cells.get(key)
+                if cell is None:
+                    cell = deferred.purge_cells[key] = [0, 0]
+                const = (cache.cost.icache_purge_page
+                         if cache.is_icache else -1)
+                prog.append((_PURGE, pack, s0, s1, want, cell, const))
+            continue
+        geo = geos[cache_idx]
+        addr = aux if phys_idx[cache_idx] else va
+        cp = (addr // geo.page_size) % geo.num_cache_pages
+        s0 = cp * lpp[cache_idx]
+        s1 = s0 + lpp[cache_idx]
+        if base == 0:                                   # *_READ_PAGE
+            prog.append((_RPAGE, pack, s0, s1, want))
+        elif base == 1:                                 # *_WRITE_PAGE
+            vals = values[vpos:vpos + ln]
+            vpos += ln
+            prog.append((_WPAGE, pack, s0, s1, want,
+                         vals.reshape(lpp[cache_idx], -1)))
+        else:                                           # *_ZERO_PAGE
+            prog.append((_WPAGE, pack, s0, s1, want,
+                         zeros[cache_idx].reshape(lpp[cache_idx], -1)))
+    close_window()
+    return prog, vpos, deferred
+
+
+def _execute(prog, ctx) -> tuple[int, int, int]:
+    """Run a threaded program; returns (batches, batched_ops, fallbacks).
+
+    The handlers for the specialized instructions reproduce, in scalar
+    form, exactly what the equivalent :class:`Cache` word loop does to
+    the tags/dirty/data/LRU arrays, the counters and the clock.
+
+    The hot counters (hits, misses, write-backs, deferred clock cycles,
+    the LRU ticks) accumulate in locals and are flushed to the live
+    objects at the points where other code can observe them — before
+    every ``_CALL``/``_BATCH`` (cache methods advance the clock and the
+    LRU tick themselves, and on the events path a publish stamps the
+    clock) and once at the end.  Counter updates are pure additions, so
+    the deferral commutes with everything in between.
+    """
+    (ck, co, mem, caches, memory, cost, values,
+     td, dyd, datd, lrud, wpl_d,
+     ti, dyi, dati, lrui, wpl_i) = ctx
+    dcache, icache = caches
+    cost_hit = cost.cache_hit
+    cost_fill = cost.line_fill
+    cost_wb = cost.write_back
+    fl_hit = cost.flush_line_hit
+    fl_miss = cost.flush_line_miss
+    pl_hit = cost.purge_line_hit
+    pl_miss = cost.purge_line_miss
+    batches = batched_ops = fallbacks = 0
+    cyc = tlb_h = r_hit = r_miss = w_hit = w_miss = wbk = 0
+    tick_d = dcache._tick
+    tick_i = icache._tick
+    for item in prog:
+        code = item[0]
+        if code == _SYNC_TLB:
+            cyc += item[1]
+            tlb_h += item[2]
+        elif code == _D_READ1:
+            _, s, tag, n = item
+            old = td.item(s)
+            if old == tag:
+                r_hit += n
+                cyc += n * cost_hit
+            else:
+                cyc += (n - 1) * cost_hit + cost_fill
+                if old != _INVALID and dyd.item(s):
+                    mem[old * wpl_d:old * wpl_d + wpl_d] = datd[s]
+                    wbk += 1
+                    cyc += cost_wb
+                datd[s] = mem[tag * wpl_d:tag * wpl_d + wpl_d]
+                td[s] = tag
+                dyd[s] = False
+                r_miss += 1
+                r_hit += n - 1
+            tick_d += n
+            lrud[s] = tick_d
+        elif code == _D_WRITE1:
+            _, s, tag, n, fw, vals = item
+            old = td.item(s)
+            if old == tag:
+                w_hit += n
+                cyc += n * cost_hit
+            else:
+                cyc += (n - 1) * cost_hit + cost_fill
+                if old != _INVALID and dyd.item(s):
+                    mem[old * wpl_d:old * wpl_d + wpl_d] = datd[s]
+                    wbk += 1
+                    cyc += cost_wb
+                datd[s] = mem[tag * wpl_d:tag * wpl_d + wpl_d]
+                td[s] = tag
+                w_miss += 1
+                w_hit += n - 1
+            datd[s, fw:fw + n] = vals
+            dyd[s] = True
+            tick_d += n
+            lrud[s] = tick_d
+        elif code == _SYNC_CLOCK:
+            cyc += item[1]
+        elif code == _CALL:
+            ck.cycles += cyc
+            cyc = 0
+            dcache._tick = tick_d
+            icache._tick = tick_i
+            item[1](*item[2])
+            tick_d = dcache._tick
+            tick_i = icache._tick
+        elif code == _I_READ1:
+            _, s, tag, n = item
+            old = ti.item(s)
+            if old == tag:
+                r_hit += n
+                cyc += n * cost_hit
+            else:
+                cyc += (n - 1) * cost_hit + cost_fill
+                if old != _INVALID and dyi.item(s):
+                    mem[old * wpl_i:old * wpl_i + wpl_i] = dati[s]
+                    wbk += 1
+                    cyc += cost_wb
+                dati[s] = mem[tag * wpl_i:tag * wpl_i + wpl_i]
+                ti[s] = tag
+                dyi[s] = False
+                r_miss += 1
+                r_hit += n - 1
+            tick_i += n
+            lrui[s] = tick_i
+        elif code == _SYNC_DELTA:
+            cyc += item[1]
+            for name, v in item[2]:
+                setattr(co, name, getattr(co, name) + v)
+            for counter, key, v in item[3]:
+                counter[key] += v
+        elif code == _FLUSH:
+            _, pack, s0, s1, want, cell = item
+            t, dy, dat, mem2d, lpp, _page_hit = pack
+            tv = t[s0:s1]
+            match = tv == want
+            hits = int(np.count_nonzero(match))
+            cycles = hits * fl_hit + (lpp - hits) * fl_miss
+            if hits:
+                dyv = dy[s0:s1]
+                dm = match & dyv
+                nd = int(np.count_nonzero(dm))
+                if nd:
+                    # A physical line is unique within a set, so the
+                    # scatter targets are distinct (see flush_page_frame).
+                    mem2d[tv[dm]] = dat[s0:s1][dm]
+                    wbk += nd
+                    cycles += nd * cost_wb
+                    dyv[dm] = False
+                tv[match] = _INVALID
+            cyc += cycles
+            cell[0] += 1
+            cell[1] += cycles
+        elif code == _PURGE:
+            _, pack, s0, s1, want, cell, const_cycles = item
+            t, dy, _dat, _mem2d, lpp, _page_hit = pack
+            tv = t[s0:s1]
+            match = tv == want
+            hits = int(np.count_nonzero(match))
+            if hits:
+                dy[s0:s1][match] = False
+                tv[match] = _INVALID
+            if const_cycles >= 0:
+                cycles = const_cycles
+            else:
+                cycles = hits * pl_hit + (lpp - hits) * pl_miss
+            cyc += cycles
+            cell[0] += 1
+            cell[1] += cycles
+        elif code == _RPAGE:
+            _, pack, s0, s1, want = item
+            t, dy, dat, mem2d, lpp, page_hit = pack
+            tv = t[s0:s1]
+            match = tv == want
+            n_miss = lpp - int(np.count_nonzero(match))
+            if n_miss == 0:
+                r_hit += lpp
+                cyc += page_hit
+            else:
+                miss = ~match
+                dyv = dy[s0:s1]
+                victims = miss & (tv != _INVALID) & dyv
+                nv = int(np.count_nonzero(victims))
+                cyc += ((lpp - n_miss) * (page_hit // lpp)
+                        + n_miss * cost_fill)
+                if nv:
+                    vt = tv[victims]
+                    if nv == 1 or len(np.unique(vt)) == nv:
+                        mem2d[vt] = dat[s0:s1][victims]
+                    else:  # doubly-dirty aliases: last-writer-wins order
+                        for i in np.flatnonzero(victims):
+                            mem2d[tv.item(i)] = dat[s0 + i]
+                    wbk += nv
+                    cyc += nv * cost_wb
+                    dyv[victims] = False
+                dat[s0:s1][miss] = mem2d[want[miss]]
+                tv[:] = want
+                r_hit += lpp - n_miss
+                r_miss += n_miss
+        elif code == _WPAGE:
+            _, pack, s0, s1, want, vals2d = item
+            t, dy, dat, mem2d, lpp, page_hit = pack
+            tv = t[s0:s1]
+            dyv = dy[s0:s1]
+            victims = (tv != want) & (tv != _INVALID) & dyv
+            nv = int(np.count_nonzero(victims))
+            cyc += page_hit
+            if nv:
+                vt = tv[victims]
+                if nv == 1 or len(np.unique(vt)) == nv:
+                    mem2d[vt] = dat[s0:s1][victims]
+                else:  # doubly-dirty aliases: last-writer-wins order
+                    for i in np.flatnonzero(victims):
+                        mem2d[tv.item(i)] = dat[s0 + i]
+                wbk += nv
+                cyc += nv * cost_wb
+            tv[:] = want
+            dat[s0:s1] = vals2d
+            dyv[:] = True
+        elif code == _BATCH:
+            ck.cycles += cyc
+            cyc = 0
+            dcache._tick = tick_d
+            icache._tick = tick_i
+            if _execute_batch(item[1], caches, memory, ck, co, cost,
+                              values):
+                batches += 1
+                batched_ops += item[1].n_ops
+            else:
+                fallbacks += 1
+                b, bo, fb = _execute(item[2], ctx)
+                batches += b
+                batched_ops += bo
+                fallbacks += fb
+            tick_d = dcache._tick
+            tick_i = icache._tick
+        else:  # pragma: no cover - compile emits only the codes above
+            raise TraceFormatError(f"unknown instruction code {code}")
+    ck.cycles += cyc
+    co.tlb_hits += tlb_h
+    co.read_hits += r_hit
+    co.read_misses += r_miss
+    co.write_hits += w_hit
+    co.write_misses += w_miss
+    co.write_backs += wbk
+    dcache._tick = tick_d
+    icache._tick = tick_i
+    return batches, batched_ops, fallbacks
+
+
+def _execute_batch(item: _BatchItem, caches, memory, clock, counters,
+                   cost, values) -> bool:
+    """Apply one fused window; returns False (touching nothing) when the
+    dynamic legality probe fails and the caller must replay it exactly."""
+    probes = []
+    victim_parts = []
+    want_parts = []
+    for sub in item.subs:
+        cache = caches[sub.cache_idx]
+        tags = cache._tags[0][sub.sets]
+        miss = tags != sub.want
+        victims = miss & (tags != _INVALID) & cache._dirty[0][sub.sets]
+        victim_tags = tags[victims]
+        probes.append((cache, miss, victims, victim_tags))
+        if victim_tags.size:
+            victim_parts.append(victim_tags)
+        want_parts.append(sub.want)
+    if victim_parts:
+        all_victims = np.concatenate(victim_parts)
+        if (len(np.unique(all_victims)) != len(all_victims)
+                or np.intersect1d(all_victims,
+                                  np.concatenate(want_parts)).size):
+            return False
+    for sub, (cache, miss, victims, victim_tags) in zip(item.subs, probes):
+        wpl = cache.geo.words_per_line
+        data0 = cache._data[0]
+        if victim_tags.size:
+            memory.write_lines(victim_tags, data0[sub.sets[victims]], wpl)
+        fill_sets = sub.sets[miss]
+        if fill_sets.size:
+            data0[fill_sets] = memory.read_lines(sub.want[miss], wpl)
+        cache._tags[0][sub.sets] = sub.want
+        dirty0 = cache._dirty[0]
+        dirty0[fill_sets] = False
+        if sub.words_written:
+            dirty0[sub.sets[sub.is_write]] = True
+        flat = data0.reshape(-1)
+        for start, k, vp in sub.write_slices:
+            flat[start:start + k] = values[vp:vp + k]
+        cache._lru[0][sub.sets] = cache._tick + sub.lru_rel
+        cache._tick += sub.total_words
+        n_miss_read = int((miss & ~sub.is_write).sum())
+        n_miss_write = int((miss & sub.is_write).sum())
+        n_victims = int(victims.sum())
+        counters.read_misses += n_miss_read
+        counters.read_hits += sub.words_read - n_miss_read
+        counters.write_misses += n_miss_write
+        counters.write_hits += sub.words_written - n_miss_write
+        counters.write_backs += n_victims
+        clock.cycles += (sub.total_words * cost.cache_hit
+                         + (n_miss_read + n_miss_write)
+                         * (cost.line_fill - cost.cache_hit)
+                         + n_victims * cost.write_back)
+    clock.cycles += item.sync_clock
+    if item.sync_delta:
+        apply_counters_delta(counters, item.sync_delta)
+    return True
+
+
+def _restore_image(cache: Cache, image) -> None:
+    cache._tags[:] = image.tags
+    cache._dirty[:] = image.dirty
+    cache._data[:] = image.data
+    cache._lru[:] = image.lru
+    cache._tick = image.tick
+
+
+def replay_trace(trace: Trace, batched: bool = True) -> ReplayResult:
+    """Re-execute a compiled trace and verify the equivalence contract.
+
+    The result's ``equivalent`` flag is True iff the replayed clock,
+    the full-fidelity counters state and (when the trace recorded
+    events) the event JSONL hash are bit-identical to what the recorder
+    captured.  ``batched=False`` disables window fusion (every op runs
+    on the exact tier) — useful for isolating a fusion bug from a
+    recording bug.
+    """
+    config = trace.config
+    geo_d = CacheGeometry(**config["dcache"])
+    geo_i = CacheGeometry(**config["icache"])
+    cost = CostModel(**config["cost"])
+    clock = Clock()
+    clock.cycles = trace.start_clock
+    counters = Counters()
+    apply_counters_delta(counters, trace.start_counters)
+    memory = PhysicalMemory(config["phys_pages"], config["page_size"])
+    memory._words[:] = trace.start_memory
+    dcache = Cache(geo_d, memory, cost, clock, counters, name="dcache")
+    icache = Cache(geo_i, memory, cost, clock, counters, name="icache",
+                   is_icache=True)
+    _restore_image(dcache, trace.start_dcache)
+    _restore_image(icache, trace.start_icache)
+
+    events: list = []
+    bus = None
+    if trace.n_events:
+        # The recording started with a fresh bus, so a fresh bus replays
+        # to identical sequence numbers (and SYNC keeps the clock stamps
+        # aligned).  Flush/purge events are republished by the cache code
+        # itself; everything else replays as explicit BUS ops.
+        bus = EventBus(clock)
+        bus.enable()
+        bus.subscribe(events.append)
+        dcache.bus = bus
+        icache.bus = bus
+
+    # Column-wise conversion then zip: materially cheaper than a 2-D
+    # tolist (which allocates one list per row before the compile loop
+    # immediately unpacks and discards it).
+    n_ops = len(trace.ops)
+    cols = [trace.ops[name].tolist()
+            for name in ("op", "asid", "va", "len", "aux")]
+    rows = zip(*cols)
+    prog, vpos, deferred = _compile(rows, trace.values, trace.sidecar,
+                                    dcache, icache, memory, clock, counters,
+                                    bus, batched)
+    ctx = (clock, counters, memory._words, (dcache, icache), memory, cost,
+           trace.values,
+           dcache._tags[0], dcache._dirty[0], dcache._data[0],
+           dcache._lru[0], geo_d.words_per_line,
+           icache._tags[0], icache._dirty[0], icache._data[0],
+           icache._lru[0], geo_i.words_per_line)
+    batches, batched_ops, fallbacks = _execute(prog, ctx)
+    deferred.apply(clock, counters, trace.sidecar)
+
+    mismatches: list[str] = []
+    if vpos != len(trace.values):
+        mismatches.append(f"value stream: consumed {vpos} of "
+                          f"{len(trace.values)} words")
+    if clock.cycles != trace.end_clock:
+        mismatches.append(f"clock: replayed {clock.cycles}, "
+                          f"recorded {trace.end_clock}")
+    counters_state = encode_counters(counters)
+    if counters_state != trace.end_counters:
+        mismatches.append("counters: replay differs by "
+                          f"{diff_counters(trace.end_counters, counters_state)}")
+    jsonl = sha = None
+    if trace.n_events:
+        jsonl = "".join(e.to_json() + "\n" for e in events)
+        sha = hashlib.sha256(jsonl.encode("utf-8")).hexdigest()
+        if sha != trace.end_events_sha256:
+            mismatches.append(
+                f"events: replayed {len(events)} events hash to {sha}, "
+                f"recorded sha {trace.end_events_sha256}")
+    return ReplayResult(
+        equivalent=not mismatches, mismatches=mismatches,
+        clock=clock.cycles, counters=counters,
+        counters_state=counters_state, n_ops=n_ops,
+        batches=batches, batched_ops=batched_ops, fallbacks=fallbacks,
+        n_events=len(events), events_sha256=sha, events_jsonl=jsonl,
+        memory=memory, dcache=dcache, icache=icache,
+    )

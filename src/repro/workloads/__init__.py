@@ -6,10 +6,10 @@ from repro.workloads.base import PaperNumbers, Workload
 from repro.workloads.kernel_build import KernelBuild
 from repro.workloads.latex_bench import LatexBench
 from repro.workloads.microbench import AliasLoopResult, run_alias_write_loop
-from repro.workloads.random_ops import AliasStressor, StressStats
+from repro.workloads.random_ops import AliasStressor, RandomOps, StressStats
 
 __all__ = [
     "Workload", "PaperNumbers", "AfsBench", "LatexBench", "KernelBuild",
-    "AliasStressor", "StressStats", "AliasLoopResult",
+    "AliasStressor", "RandomOps", "StressStats", "AliasLoopResult",
     "run_alias_write_loop",
 ]

@@ -16,6 +16,7 @@ from repro.kernel.kernel import Kernel
 from repro.kernel.process import UserProcess, fresh_tokens
 from repro.prot import Prot
 from repro.vm.vm_object import Backing, VMObject
+from repro.workloads.base import Workload
 
 
 @dataclass
@@ -193,3 +194,34 @@ def run(kernel: Kernel, steps: int = 500, seed: int = 0,
     """Convenience entry point: build a stressor and run it."""
     return AliasStressor(kernel, n_tasks=n_tasks, n_pages=n_pages,
                          seed=seed).run(steps)
+
+
+class RandomOps(Workload):
+    """The stressor as a :class:`Workload`, for the trace round-trip tests.
+
+    Unlike the paper benchmarks, the action mix here hits every recorded
+    operation class — word and block accesses through random aliases,
+    page transfers, remap churn, DMA in both directions — so a compile →
+    replay round trip over it exercises the whole op alphabet.  Not part
+    of the evaluation workload set (``scale`` maps to stress steps, not
+    to a paper-sized input).
+    """
+
+    name = "random-ops"
+
+    def __init__(self, scale: float = 1.0, seed: int = 0,
+                 n_tasks: int = 3, n_pages: int = 4):
+        self.steps = max(1, int(100 * scale))
+        self.seed = seed
+        self.n_tasks = n_tasks
+        self.n_pages = n_pages
+        self.stats: StressStats | None = None
+        self._stressor: AliasStressor | None = None
+
+    def setup(self, kernel: Kernel) -> None:
+        self._stressor = AliasStressor(kernel, n_tasks=self.n_tasks,
+                                       n_pages=self.n_pages, seed=self.seed)
+
+    def execute(self, kernel: Kernel) -> None:
+        assert self._stressor is not None, "setup() must run first"
+        self.stats = self._stressor.run(self.steps)

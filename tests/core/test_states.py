@@ -1,6 +1,7 @@
 """Tests for the state and operation enums."""
 
-from repro.core.states import Action, LineState, MemoryOp
+from repro.core.states import (ACTION_EVENT, CACHE_OP_EVENTS, CPU_EVENTS,
+                               DMA_EVENTS, Action, LineState, MemoryOp)
 
 
 class TestLineState:
@@ -41,3 +42,40 @@ class TestMemoryOp:
 class TestAction:
     def test_values(self):
         assert {a.value for a in Action} == {"-", "purge", "flush"}
+
+
+class TestSharedEventAlphabet:
+    """The module-level event groups are THE definition both enumerators
+    build from; these tests pin them to the enums so a new event (or
+    action) cannot be added without the shared groups following."""
+
+    def test_groups_partition_the_events(self):
+        groups = CPU_EVENTS + DMA_EVENTS + CACHE_OP_EVENTS
+        assert sorted(groups, key=lambda op: op.value) == sorted(
+            MemoryOp, key=lambda op: op.value)
+        assert len(set(groups)) == len(groups)
+
+    def test_groups_match_the_classification_properties(self):
+        assert CPU_EVENTS == tuple(op for op in MemoryOp if op.is_cpu)
+        assert DMA_EVENTS == tuple(op for op in MemoryOp if op.is_dma)
+        assert CACHE_OP_EVENTS == tuple(op for op in MemoryOp
+                                        if op.is_cache_op)
+
+    def test_action_event_covers_every_real_action(self):
+        assert set(ACTION_EVENT) == {a for a in Action if a is not Action.NONE}
+        assert set(ACTION_EVENT.values()) == set(CACHE_OP_EVENTS)
+
+    def test_enumerators_stay_in_sync(self):
+        """The exhaustive checker and the conformance explorer derive
+        their alphabets from the same shared groups."""
+        from repro.conformance.explorer import Explorer
+        from repro.core.exhaustive import event_alphabet
+
+        base = event_alphabet(3)
+        assert base == ([(op, t) for op in CPU_EVENTS for t in range(3)]
+                        + [(op, None) for op in DMA_EVENTS])
+        full = event_alphabet(3, include_cache_ops=True)
+        assert full == base + [(op, t) for op in CACHE_OP_EVENTS
+                               for t in range(3)]
+        explorer = Explorer(num_cache_pages=3)
+        assert explorer.alphabet == full

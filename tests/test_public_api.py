@@ -7,7 +7,7 @@ import pytest
 
 PACKAGES = ["repro", "repro.core", "repro.hw", "repro.vm", "repro.kernel",
             "repro.workloads", "repro.analysis", "repro.conformance",
-            "repro.farm"]
+            "repro.farm", "repro.trace"]
 
 
 class TestPublicSurface:

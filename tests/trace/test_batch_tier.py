@@ -1,0 +1,77 @@
+"""The batched tier (window fusion) under a workload built to trigger it.
+
+The paper workloads never form a qualifying fusion window — their large
+contiguous runs are bracketed by page flushes and purges, which are
+consistency boundaries that close windows — so the exact per-op tier
+carries all of their replay speedup.  This suite keeps the fusion
+machinery honest with a synthetic workload whose execute phase is pure
+streaming: block sweeps over pages that were faulted in during setup,
+giving the compiler long disjoint access runs with no boundary between
+them.  The assertions pin both that fusion actually engages (otherwise
+the tier is dead code) and that it preserves the equivalence contract
+against the exact tier.
+"""
+
+from repro.hw.params import WORD_SIZE
+from repro.kernel.kernel import Kernel
+from repro.trace import replay_trace
+from repro.trace.format import decode_counters
+from repro.trace.interp import (MIN_BATCH_RUNS, MIN_BATCH_WORDS,
+                                MIN_OPEN_WORDS)
+from repro.workloads.base import Workload
+
+PAGES = 8
+WORDS_PER_PAGE = 4096 // WORD_SIZE
+
+
+class BlockSweep(Workload):
+    """Pure streaming: full-page block writes then block reads over
+    resident pages, no faults and no cache management in the measured
+    window."""
+
+    name = "block-sweep"
+
+    def setup(self, kernel):
+        self.task = kernel.create_task("sweep")
+        self.base = self.task.allocate_anon(PAGES)
+        for page in range(PAGES):          # fault every page in now
+            self.task.write(self.base + page, 0, 1)
+
+    def execute(self, kernel):
+        values = list(range(WORDS_PER_PAGE))
+        for page in range(PAGES):
+            self.task.write_block(self.base + page, 0, values)
+        self.out = [self.task.read_block(self.base + page, 0,
+                                         WORDS_PER_PAGE)
+                    for page in range(PAGES)]
+
+
+def compile_sweep():
+    kernel = Kernel()
+    return BlockSweep().record(kernel)
+
+
+class TestWindowFusion:
+    def test_sweep_qualifies_for_fusion(self):
+        # The workload is sized to clear every threshold with room.
+        assert PAGES >= MIN_BATCH_RUNS
+        assert WORDS_PER_PAGE >= MIN_OPEN_WORDS
+        assert PAGES * WORDS_PER_PAGE >= MIN_BATCH_WORDS
+
+    def test_fusion_engages_and_roundtrips(self):
+        trace = compile_sweep()
+        batched = replay_trace(trace, batched=True)
+        assert batched.equivalent, batched.mismatches
+        assert batched.batches >= 1
+        assert batched.batched_ops >= MIN_BATCH_RUNS
+        assert batched.fallbacks == 0
+
+    def test_batched_and_exact_tiers_agree(self):
+        trace = compile_sweep()
+        batched = replay_trace(trace, batched=True)
+        exact = replay_trace(trace, batched=False)
+        assert exact.batches == 0
+        assert batched.equivalent and exact.equivalent
+        assert batched.clock == exact.clock == trace.end_clock
+        assert batched.counters == exact.counters \
+            == decode_counters(trace.end_counters)
