@@ -141,8 +141,12 @@ def diff_metrics(config_name: str, workload_name: str,
     def _op(kind_counter: str, cycle_counter: str, cache: str | None,
             reason: Reason | None) -> OpCost:
         def total(snap, counter):
+            # A cluster's per-CPU caches are named "cpu{i}.dcache"; the
+            # suffix match aggregates them into the plain-name totals
+            # (same rule as Counters._total).
             return sum(n for (c, r), n in snap[counter].items()
-                       if (cache is None or c == cache)
+                       if (cache is None or c == cache
+                           or c.endswith("." + cache))
                        and (reason is None or r == reason))
         return OpCost(total(after, kind_counter) - total(before, kind_counter),
                       total(after, cycle_counter) - total(before, cycle_counter))

@@ -9,9 +9,11 @@ Usage::
     python -m repro micro [--iterations 20000]
     python -m repro run <workload> [--policy F] [--scale 1.0]
                                    [--inject PLAN --seed N] [--conform]
-                                   [--trace-events FILE]
+                                   [--trace-events FILE] [--cpus N]
+                                   [--list-points]
     python -m repro chaos [--plans 50] [--preset mixed] [--steps 200]
-                          [--jobs N]
+                          [--jobs N] [--cpus N] [--list-points]
+    python -m repro smp [--out FILE] [--jobs N]
     python -m repro conform [--sequences 200] [--seed 0] [--scale 0.25]
                             [--mutant NAME] [--jobs N]
     python -m repro sweep [--workload kernel-build] [--policies A,F]
@@ -31,7 +33,12 @@ single workload under a named policy configuration and prints the
 counters the tables are built from.  ``--inject`` arms the deterministic
 fault injector for the run (see docs/fault-injection.md for the plan
 grammar); ``chaos`` runs the detected-or-harmless harness over a batch of
-seeded random fault plans.  ``conform`` runs the lockstep conformance
+seeded random fault plans.  ``--cpus N`` boots an N-CPU coherent cluster
+(Section 3.3, docs/smp.md): ``run`` spreads the workload's tasks over
+the CPUs, ``chaos`` arms the ``smp.snoop.*`` race points and shadows
+every CPU with its own lockstep oracle, and ``smp`` regenerates the
+1..8-CPU aligned-vs-unaligned scaling curve (``BENCH_smp.json``).
+``--list-points`` prints the injection-point catalog.  ``conform`` runs the lockstep conformance
 engine (see docs/conformance.md): an explorer sweep, an arc-coverage run,
 and live shadowing of the paper workloads — or, with ``--mutant``,
 demonstrates detection and shrinking against a seeded bug.  ``trace``
@@ -109,14 +116,35 @@ def _cmd_micro(args) -> None:
     print(render_micro(aligned, unaligned))
 
 
+def _print_points() -> None:
+    """``--list-points``: the injection-point catalog, grouped by class."""
+    from repro.faults.injector import POINT_DESCRIPTIONS, classify_point
+
+    groups: dict[str, list[str]] = {}
+    for point in sorted(POINT_DESCRIPTIONS):
+        groups.setdefault(classify_point(point), []).append(point)
+    for kind in ("consistency", "snoop-race", "recoverable", "terminal"):
+        print(f"{kind}:")
+        for point in groups.pop(kind, []):
+            print(f"  {point:<32} {POINT_DESCRIPTIONS[point]}")
+    for kind, points in sorted(groups.items()):  # any future classes
+        print(f"{kind}:")
+        for point in points:
+            print(f"  {point:<32} {POINT_DESCRIPTIONS[point]}")
+
+
 def _cmd_run(args) -> None:
+    if getattr(args, "list_points", False):
+        return _print_points()
     policy = by_name(args.policy)
+    config = evaluation_machine(n_cpus=args.cpus)
     trace_path = getattr(args, "trace_events", None)
     kernel = injector = monitor = trace_file = None
-    if args.inject or getattr(args, "conform", False) or trace_path:
+    if (args.inject or getattr(args, "conform", False) or trace_path
+            or args.cpus > 1):
         from repro.kernel.kernel import Kernel
 
-        kernel = Kernel(policy=policy, config=evaluation_machine())
+        kernel = Kernel(policy=policy, config=config)
     trace_counts: dict[str, int] = {}
     if trace_path:
         bus = kernel.machine.bus.enable()
@@ -134,16 +162,18 @@ def _cmd_run(args) -> None:
         injector = FaultInjector(plan, kernel.machine.clock)
         injector.attach_kernel(kernel)
     if getattr(args, "conform", False):
-        from repro.conformance import ConformanceMonitor
+        from repro.conformance import (ConformanceMonitor,
+                                       SmpConformanceMonitor)
 
         # Under injection divergences are *expected*: record them for the
-        # end-of-run report instead of failing fast.
-        monitor = ConformanceMonitor(kernel,
-                                     record_only=injector is not None)
+        # end-of-run report instead of failing fast.  On a cluster the
+        # shadow is one lockstep oracle per CPU.
+        cls = SmpConformanceMonitor if args.cpus > 1 else ConformanceMonitor
+        monitor = cls(kernel, record_only=injector is not None)
         monitor.attach()
     try:
         metrics = run_workload(make_workload(args.workload, args.scale),
-                               policy, config=evaluation_machine(),
+                               policy, config=config,
                                kernel=kernel)
     except ConformanceError as exc:
         print(f"{args.workload} under configuration {policy.name}: "
@@ -185,6 +215,12 @@ def _cmd_run(args) -> None:
     print(f"  icache purges:      {metrics.icache_purges.count}")
     print(f"  DMA:                {metrics.dma_reads} reads, "
           f"{metrics.dma_writes} writes")
+    if args.cpus > 1 and kernel is not None:
+        counters = kernel.machine.counters
+        print(f"  snoop coherence:    "
+              f"{counters.coherence_invalidations} invalidations, "
+              f"{counters.coherence_writebacks} write-backs "
+              f"({args.cpus} CPUs)")
     print(f"  VI-cache overhead:  "
           f"{100 * metrics.consistency_overhead_fraction:.3f}%")
     if injector is not None:
@@ -245,11 +281,15 @@ def _merge_stats(totals, stats):
 
 
 def _cmd_chaos(args) -> None:
+    if getattr(args, "list_points", False):
+        return _print_points()
     from repro.faults import run_chaos_suite
     from repro.faults.harness import PRESETS, render_suite
 
     presets = ([args.preset] if args.preset != "all"
-               else [p for p in PRESETS if p != "control"])
+               else [p for p in PRESETS
+                     if p != "control"
+                     and (args.cpus > 1 or p != "snoop")])
     # The classic in-process loop unless a farm flag asks for sharding,
     # caching, or progress events — jobs=1 farm runs are bit-identical.
     farmed = bool(args.jobs > 1 or args.cache_dir or args.trace_events)
@@ -260,15 +300,58 @@ def _cmd_chaos(args) -> None:
         for preset in presets:
             reports += run_chaos_suite(
                 range(args.seed, args.seed + args.plans),
-                preset=preset, steps=args.steps, executor=executor)
+                preset=preset, steps=args.steps, executor=executor,
+                n_cpus=args.cpus)
             if executor is not None:
                 totals = _merge_stats(totals, executor.stats)
     finally:
         finish()
     print(render_suite(reports))
+    if args.cpus > 1:
+        per_cpu: dict[int, int] = {}
+        for report in reports:
+            for cpu, n in report.conform_per_cpu.items():
+                per_cpu[cpu] = per_cpu.get(cpu, 0) + n
+        shadows = ", ".join(f"cpu{cpu}={n}"
+                            for cpu, n in sorted(per_cpu.items()))
+        print(f"per-CPU lockstep divergences ({args.cpus} CPUs): "
+              f"{shadows or 'none'}")
     if executor is not None:
         print(_farm_line(executor, totals))
     if any(not r.ok for r in reports):
+        raise SystemExit(1)
+
+
+def _cmd_smp(args) -> None:
+    import importlib.util
+    import json
+    import pathlib
+
+    # The measurement lives in the benchmark module (the CI smp job runs
+    # the same file standalone); the CLI farms and prints it.
+    bench_path = (pathlib.Path(__file__).resolve().parents[2]
+                  / "benchmarks" / "bench_smp_scaling.py")
+    spec = importlib.util.spec_from_file_location("bench_smp_scaling",
+                                                  bench_path)
+    bench = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench)
+
+    executor, finish = _farm_setup(args, default_cache=True)
+    try:
+        result = bench.measure(executor)
+    finally:
+        finish()
+    print(bench.render(result))
+    print(_farm_line(executor))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote SMP scaling curve to {args.out}")
+    failures = bench.check(result)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}")
+    if failures:
         raise SystemExit(1)
 
 
@@ -647,6 +730,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable the structured event bus and stream every "
                         "event (flushes, purges, faults, DMA, injections, "
                         "divergences) to FILE as JSON lines")
+    p.add_argument("--cpus", type=int, default=1,
+                   help="run on an N-CPU coherent cluster (Section 3.3); "
+                        "tasks spread round-robin over the CPUs")
+    p.add_argument("--list-points", action="store_true",
+                   dest="list_points",
+                   help="print the fault-injection point catalog and exit")
 
     p = add("chaos", _cmd_chaos,
             "detected-or-harmless harness over random fault plans")
@@ -654,11 +743,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of seeded plans per preset")
     p.add_argument("--preset", default="mixed",
                    choices=["control", "transient", "consistency",
-                            "recovery", "mixed", "all"])
+                            "recovery", "mixed", "snoop", "all"])
     p.add_argument("--steps", type=int, default=200,
                    help="stressor steps per run")
     p.add_argument("--seed", type=int, default=0,
                    help="first seed of the batch")
+    p.add_argument("--cpus", type=int, default=1,
+                   help="boot each run on an N-CPU coherent cluster: "
+                        "snoop-race points arm and the conformance shadow "
+                        "becomes one lockstep oracle per CPU")
+    p.add_argument("--list-points", action="store_true",
+                   dest="list_points",
+                   help="print the fault-injection point catalog and exit")
+    add_farm_args(p)
+
+    p = add("smp", _cmd_smp,
+            "the Section 3.3 SMP scaling curve (1..8 CPUs, aligned vs "
+            "unaligned), farmed and cached")
+    p.add_argument("--out", metavar="FILE",
+                   help="write the curve (and farm stats) as JSON")
     add_farm_args(p)
 
     p = add("conform", _cmd_conform,

@@ -78,9 +78,12 @@ class Divergence:
     frame: int
     cache_page: int | None
     detail: str
+    cpu: int | None = None     # which CPU's monitor observed it (SMP only)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return (f"event #{self.seq}: {self.kind} on frame {self.frame}"
+        return (f"event #{self.seq}: "
+                + (f"cpu{self.cpu}: " if self.cpu is not None else "")
+                + f"{self.kind} on frame {self.frame}"
                 + (f" cache page {self.cache_page}"
                    if self.cache_page is not None else "")
                 + f": {self.detail}")
@@ -130,18 +133,32 @@ class ConformanceMonitor:
         record_only: collect divergences instead of raising on the first.
         max_events: bound the replay log (a deque keeps the most recent
             events for the error prefix); None keeps everything.
+        cache: the cache object to wrap; defaults to ``machine.dcache``.
+            :class:`SmpConformanceMonitor` passes each per-CPU cache of a
+            cluster here, one monitor per CPU.
+        cpu: CPU number for divergence attribution (None on a
+            uniprocessor).
+        wrap_dma: also wrap the DMA engine.  Per-CPU monitors set this
+            False; the composite wraps DMA once and broadcasts.
+        coverage: a shared :class:`ArcCoverage` to record into (per-CPU
+            monitors share one); None builds a private instance.
     """
 
     def __init__(self, kernel: "Kernel", record_only: bool = False,
-                 max_events: int | None = 4096):
+                 max_events: int | None = 4096, *,
+                 cache=None, cpu: int | None = None, wrap_dma: bool = True,
+                 coverage: ArcCoverage | None = None):
         self.kernel = kernel
         self.machine = kernel.machine
+        self.cache = cache if cache is not None else self.machine.dcache
+        self.cpu = cpu
+        self.wrap_dma = wrap_dma
         self.page_size = self.machine.page_size
         self.words_per_page = self.machine.memory.words_per_page
-        self.ncp = self.machine.dcache.geo.num_cache_pages
+        self.ncp = self.cache.geo.num_cache_pages
         self.record_only = record_only
         self.models: dict[int, ConsistencyModel] = {}
-        self.coverage = ArcCoverage()
+        self.coverage = coverage if coverage is not None else ArcCoverage()
         self.events: deque[ObservedEvent] = deque(maxlen=max_events)
         self.events_seen = 0
         self.divergences: list[Divergence] = []
@@ -161,7 +178,7 @@ class ConformanceMonitor:
         """Install the observation wrappers (idempotent)."""
         if self._attached:
             return self
-        dcache = self.machine.dcache
+        dcache = self.cache
         dma = self.machine.dma
         self._originals = {
             "read": dcache.read, "write": dcache.write,
@@ -170,8 +187,10 @@ class ConformanceMonitor:
             "zero_page": dcache.zero_page,
             "flush_page_frame": dcache.flush_page_frame,
             "purge_page_frame": dcache.purge_page_frame,
-            "dma_read": dma.dma_read, "dma_write": dma.dma_write,
         }
+        if self.wrap_dma:
+            self._originals["dma_read"] = dma.dma_read
+            self._originals["dma_write"] = dma.dma_write
         orig = self._originals
 
         def read(vaddr, paddr):
@@ -214,35 +233,38 @@ class ConformanceMonitor:
             self._on_cache_op(MemoryOp.PURGE, cache_page, pa_page_base)
             return orig["purge_page_frame"](cache_page, pa_page_base, reason)
 
-        def dma_read(ppage):
-            self._on_dma(MemoryOp.DMA_READ, ppage)
-            return orig["dma_read"](ppage)
-
-        def dma_write(ppage, values):
-            self._on_dma(MemoryOp.DMA_WRITE, ppage)
-            return orig["dma_write"](ppage, values)
-
         dcache.read, dcache.write = read, write
         dcache.read_run, dcache.write_run = read_run, write_run
         dcache.read_page, dcache.write_page = read_page, write_page
         dcache.zero_page = zero_page
         dcache.flush_page_frame = flush_page_frame
         dcache.purge_page_frame = purge_page_frame
-        dma.dma_read, dma.dma_write = dma_read, dma_write
+
+        if self.wrap_dma:
+            def dma_read(ppage):
+                self._on_dma(MemoryOp.DMA_READ, ppage)
+                return orig["dma_read"](ppage)
+
+            def dma_write(ppage, values):
+                self._on_dma(MemoryOp.DMA_WRITE, ppage)
+                return orig["dma_write"](ppage, values)
+
+            dma.dma_read, dma.dma_write = dma_read, dma_write
         self._attached = True
         return self
 
     def detach(self) -> None:
         if not self._attached:
             return
-        dcache = self.machine.dcache
+        dcache = self.cache
         dma = self.machine.dma
         for name in ("read", "write", "read_run", "write_run", "read_page",
                      "write_page", "zero_page", "flush_page_frame",
                      "purge_page_frame"):
             setattr(dcache, name, self._originals[name])
-        dma.dma_read = self._originals["dma_read"]
-        dma.dma_write = self._originals["dma_write"]
+        if self.wrap_dma:
+            dma.dma_read = self._originals["dma_read"]
+            dma.dma_write = self._originals["dma_write"]
         self._attached = False
 
     def __enter__(self) -> "ConformanceMonitor":
@@ -283,10 +305,15 @@ class ConformanceMonitor:
     def _on_dma(self, op: MemoryOp, frame: int) -> None:
         self._check_access(op, frame, None, full_page=False)
 
+    def observe_dma(self, op: MemoryOp, frame: int) -> None:
+        """Feed a DMA transfer observed elsewhere into this monitor's
+        models (the SMP composite wraps DMA once and broadcasts here)."""
+        self._on_dma(op, frame)
+
     def _on_access(self, op: MemoryOp, vaddr: int, paddr: int,
                    full_page: bool = False) -> None:
         frame = paddr // self.page_size
-        cache_page = self.machine.dcache.cache_page_of(vaddr, paddr)
+        cache_page = self.cache.cache_page_of(vaddr, paddr)
         self._check_access(op, frame, cache_page, full_page)
 
     def _check_access(self, op: MemoryOp, frame: int,
@@ -335,20 +362,22 @@ class ConformanceMonitor:
         if key in self._reported:
             return
         self._reported.add(key)
-        divergence = Divergence(seq, kind, frame, cache_page, detail)
+        divergence = Divergence(seq, kind, frame, cache_page, detail,
+                                cpu=self.cpu)
         self.divergences.append(divergence)
         bus = self.machine.bus
         if bus is not None and bus.enabled:
             bus.publish("divergence", divergence=kind, frame=frame,
-                        cache_page=cache_page, detail=detail)
+                        cache_page=cache_page, detail=detail, cpu=self.cpu)
         if self.record_only:
             return
+        where = f"cpu{self.cpu}: " if self.cpu is not None else ""
         raise ConformanceError(
-            f"lockstep divergence: {detail} "
+            f"lockstep divergence: {where}{detail} "
             f"(replay prefix: {len(self.events)} of {self.events_seen} "
             f"events retained)",
             kind=kind, frame=frame, cache_page=cache_page, event_index=seq,
-            prefix=tuple(self.events))
+            cpu=self.cpu, prefix=tuple(self.events))
 
     # ---- reporting -------------------------------------------------------------
 
@@ -362,3 +391,113 @@ class ConformanceMonitor:
     @property
     def ok(self) -> bool:
         return not self.divergences
+
+
+class SmpConformanceMonitor:
+    """Per-CPU lockstep over a :class:`~repro.hw.smp.CoherentCluster`.
+
+    One :class:`ConformanceMonitor` shadows each CPU's data cache,
+    sharing a single :class:`ArcCoverage` (the Table 2 arcs are
+    CPU-agnostic, so the union is the meaningful coverage number).
+    Cluster-wide management operations are observed per CPU naturally —
+    the cluster's flush/purge loops call each wrapped cache — while DMA
+    is wrapped once here and broadcast to every monitor, since a device
+    transfer changes the frame's standing for every CPU at once.
+
+    Soundness of the per-CPU projection: each CPU's model sees that
+    CPU's accesses plus all management and DMA traffic, so it demands a
+    subset of what a whole-machine model would — no false missed-action
+    reports — and the dangerous-direction state checks compare against
+    the shared (CPU-agnostic) pmap bookkeeping exactly as on one CPU.
+    Divergences carry the observing CPU (:attr:`Divergence.cpu`).
+    """
+
+    def __init__(self, kernel: "Kernel", record_only: bool = False,
+                 max_events: int | None = 4096):
+        cluster = kernel.machine.cluster
+        if cluster is None:
+            raise ConformanceError(
+                "SmpConformanceMonitor needs a multi-CPU machine; "
+                "use ConformanceMonitor on a uniprocessor")
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.record_only = record_only
+        self.coverage = ArcCoverage()
+        self.monitors = [
+            ConformanceMonitor(kernel, record_only=record_only,
+                               max_events=max_events, cache=cache, cpu=i,
+                               wrap_dma=False, coverage=self.coverage)
+            for i, cache in enumerate(cluster.caches)
+        ]
+        self._originals: dict[str, object] = {}
+        self._attached = False
+
+    def attach(self) -> "SmpConformanceMonitor":
+        if self._attached:
+            return self
+        for monitor in self.monitors:
+            monitor.attach()
+        dma = self.machine.dma
+        self._originals = {"dma_read": dma.dma_read,
+                           "dma_write": dma.dma_write}
+        orig = self._originals
+        monitors = self.monitors
+
+        def dma_read(ppage):
+            for monitor in monitors:
+                monitor.observe_dma(MemoryOp.DMA_READ, ppage)
+            return orig["dma_read"](ppage)
+
+        def dma_write(ppage, values):
+            for monitor in monitors:
+                monitor.observe_dma(MemoryOp.DMA_WRITE, ppage)
+            return orig["dma_write"](ppage, values)
+
+        dma.dma_read, dma.dma_write = dma_read, dma_write
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        dma = self.machine.dma
+        dma.dma_read = self._originals["dma_read"]
+        dma.dma_write = self._originals["dma_write"]
+        for monitor in self.monitors:
+            monitor.detach()
+        self._attached = False
+
+    def __enter__(self) -> "SmpConformanceMonitor":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # ---- aggregated reporting -----------------------------------------------
+
+    @property
+    def events_seen(self) -> int:
+        return sum(m.events_seen for m in self.monitors)
+
+    @property
+    def divergences(self) -> list[Divergence]:
+        out = [d for m in self.monitors for d in m.divergences]
+        out.sort(key=lambda d: (d.seq, d.cpu if d.cpu is not None else -1))
+        return out
+
+    def per_cpu_divergences(self) -> dict[int, int]:
+        return {m.cpu: len(m.divergences) for m in self.monitors}
+
+    def summary(self) -> ConformanceSummary:
+        frames = set()
+        for monitor in self.monitors:
+            frames.update(monitor.models)
+        return ConformanceSummary(
+            events=self.events_seen, frames=len(frames),
+            divergences=len(self.divergences),
+            coverage_percent=self.coverage.percent,
+            uncovered=self.coverage.uncovered())
+
+    @property
+    def ok(self) -> bool:
+        return all(m.ok for m in self.monitors)

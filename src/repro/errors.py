@@ -69,15 +69,17 @@ class ConformanceError(ReproError):
 
     def __init__(self, message: str, *, kind: str | None = None,
                  frame: int | None = None, cache_page: int | None = None,
-                 event_index: int | None = None, prefix: tuple = ()):
+                 event_index: int | None = None, cpu: int | None = None,
+                 prefix: tuple = ()):
         rendered = _render_context({"kind": kind, "frame": frame,
                                     "cache_page": cache_page,
-                                    "event": event_index})
+                                    "event": event_index, "cpu": cpu})
         super().__init__(f"{message} [{rendered}]" if rendered else message)
         self.kind = kind
         self.frame = frame
         self.cache_page = cache_page
         self.event_index = event_index
+        self.cpu = cpu
         #: the observed events leading up to (and including) the divergence;
         #: may be a bounded tail when the monitor caps its event log
         self.prefix = tuple(prefix)

@@ -94,9 +94,21 @@ class JobSpec:
                         exact=exact or None)
 
     @classmethod
-    def chaos(cls, seed: int, preset: str = "mixed",
-              steps: int = 200) -> "JobSpec":
-        return cls.make("chaos", seed=seed, preset=preset, steps=steps)
+    def chaos(cls, seed: int, preset: str = "mixed", steps: int = 200,
+              n_cpus: int | None = None) -> "JobSpec":
+        # n_cpus=None (and 1) drop out of the spec so uniprocessor keys —
+        # and their cached payloads — are unchanged from before SMP.
+        return cls.make("chaos", seed=seed, preset=preset, steps=steps,
+                        n_cpus=None if n_cpus in (None, 1) else n_cpus)
+
+    @classmethod
+    def smp(cls, n_cpus: int, aligned: bool, workload: str = "ring",
+            records: int = 120, data_pages: int = 2,
+            phys_pages: int | None = None) -> "JobSpec":
+        """One point of the SMP scaling curve (Section 3.3)."""
+        return cls.make("smp", n_cpus=n_cpus, aligned=aligned,
+                        workload=workload, records=records,
+                        data_pages=data_pages, phys_pages=phys_pages)
 
     @classmethod
     def explore(cls, seed: int, sequences: int,
@@ -157,7 +169,8 @@ class JobSpec:
         """A short human-readable identity for progress events."""
         parts = [f"{k}={v}" for k, v in self.params
                  if k in ("workload", "policy", "seed", "preset",
-                          "dcache_kib", "prefix", "mode")]
+                          "dcache_kib", "prefix", "mode", "n_cpus",
+                          "aligned")]
         return f"{self.kind}({', '.join(parts)})"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

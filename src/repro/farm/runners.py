@@ -25,8 +25,14 @@ Kinds:
     are pure functions of the artifact bytes, so the farm's cache makes
     re-verifying an unchanged trace free.
 ``chaos``
-    One detected-or-harmless chaos run (seed, preset, steps); payload is
-    the verified :class:`ChaosReport` dict.
+    One detected-or-harmless chaos run (seed, preset, steps, optional
+    ``n_cpus`` for a coherent cluster with per-CPU lockstep shadows);
+    payload is the verified :class:`ChaosReport` dict.
+``smp``
+    One point of the Section 3.3 SMP scaling curve: the multi-CPU ring
+    (or Unix-server) workload at ``n_cpus`` with ``aligned`` or
+    unaligned sharing; payload is the result dict (cycles per record,
+    consistency faults, coherence traffic).
 ``explore``
     One conformance-explorer shard (seed, sequences, cache_pages);
     payload is the :class:`ExplorationReport` dict, coverage included.
@@ -162,8 +168,32 @@ def _run_chaos_job(spec: JobSpec) -> dict:
     from repro.faults.harness import run_chaos
 
     report = run_chaos(spec["seed"], preset=spec.get("preset", "mixed"),
-                       steps=spec.get("steps", 200))
+                       steps=spec.get("steps", 200),
+                       n_cpus=spec.get("n_cpus", 1))
     return {"report": report.to_dict()}
+
+
+@runner("smp")
+def _run_smp_job(spec: JobSpec) -> dict:
+    from repro.faults.harness import chaos_machine
+    from repro.kernel.kernel import Kernel
+    from repro.workloads.smp import run_smp_ring, run_smp_unix_server
+
+    kernel = Kernel(config=chaos_machine(n_cpus=spec["n_cpus"],
+                                         phys_pages=spec.get("phys_pages")
+                                         or 192),
+                    buffer_cache_pages=24)
+    workload = spec.get("workload", "ring")
+    if workload == "ring":
+        result = run_smp_ring(kernel,
+                              records_per_pair=spec.get("records", 120),
+                              data_pages=spec.get("data_pages", 2),
+                              aligned=bool(spec.get("aligned", True)))
+    elif workload == "server":
+        result = run_smp_unix_server(kernel)
+    else:
+        raise ConfigurationError(f"unknown smp workload {workload!r}")
+    return {"result": result.to_dict()}
 
 
 @runner("explore")

@@ -38,12 +38,13 @@ def _payloads(executor: Executor, specs: list[JobSpec]) -> list[dict]:
 
 
 def farm_chaos_suite(seeds, preset: str, steps: int,
-                     executor: Executor) -> list:
+                     executor: Executor, n_cpus: int = 1) -> list:
     """The chaos suite as a spec batch; returns verified ChaosReports in
     seed order, exactly as :func:`repro.faults.run_chaos_suite` does."""
     from repro.faults.harness import ChaosReport
 
-    specs = [JobSpec.chaos(seed=seed, preset=preset, steps=steps)
+    specs = [JobSpec.chaos(seed=seed, preset=preset, steps=steps,
+                           n_cpus=n_cpus)
              for seed in seeds]
     return [ChaosReport.from_dict(payload["report"])
             for payload in _payloads(executor, specs)]

@@ -20,16 +20,18 @@ format, and the determinism guarantees.
 """
 
 from repro.faults.injector import (ALL_POINTS, CONSISTENCY_POINTS,
-                                   DIVERGENCE_POINTS, RECOVERABLE_POINTS,
+                                   DIVERGENCE_POINTS, POINT_DESCRIPTIONS,
+                                   RECOVERABLE_POINTS, SNOOP_POINTS,
                                    TERMINAL_POINTS, FaultInjector, FaultPlan,
-                                   FaultRule, InjectionRecord)
+                                   FaultRule, InjectionRecord, classify_point)
 from repro.faults.harness import (ChaosReport, build_plan, run_chaos,
                                   run_chaos_suite, verify_report)
 
 __all__ = [
     "FaultInjector", "FaultPlan", "FaultRule", "InjectionRecord",
     "ALL_POINTS", "CONSISTENCY_POINTS", "DIVERGENCE_POINTS",
-    "RECOVERABLE_POINTS", "TERMINAL_POINTS",
+    "RECOVERABLE_POINTS", "SNOOP_POINTS", "TERMINAL_POINTS",
+    "POINT_DESCRIPTIONS", "classify_point",
     "ChaosReport", "build_plan", "run_chaos", "run_chaos_suite",
     "verify_report",
 ]

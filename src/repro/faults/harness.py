@@ -45,10 +45,12 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from repro.conformance.lockstep import ConformanceMonitor
+from repro.conformance.lockstep import (ConformanceMonitor,
+                                        SmpConformanceMonitor)
 from repro.errors import ConfigurationError, ReproError
 from repro.faults.injector import (CONSISTENCY_POINTS, DIVERGENCE_POINTS,
-                                   FaultInjector, FaultPlan, FaultRule)
+                                   SNOOP_POINTS, FaultInjector, FaultPlan,
+                                   FaultRule)
 from repro.hw.params import MachineConfig, small_machine
 from repro.kernel.kernel import Kernel
 from repro.vm.policy import NEW_SYSTEM, PolicyConfig
@@ -93,6 +95,17 @@ PRESETS: dict[str, tuple[tuple[str, float, int], ...]] = {
         ("tlb.entry.corrupt", 0.02, 1),
         ("kernel.fault.stall", 0.08, 3),
     ),
+    # Snoop races only matter on a cluster (the points are consulted per
+    # resident/dirty peer copy, so a uniprocessor run leaves them
+    # silent).  Rates are high relative to the device presets because
+    # every consultation is consequential by construction — the cluster
+    # only asks the injector when a racing copy actually exists.
+    "snoop": (
+        ("smp.snoop.invalidate.drop", 0.15, 2),
+        ("smp.snoop.writeback.stale", 0.20, 2),
+        ("smp.snoop.writeback.lost", 0.15, 2),
+        ("smp.snoop.invalidate.misroute", 0.15, 2),
+    ),
 }
 
 
@@ -136,6 +149,10 @@ class ChaosReport:
     conform_events: int = 0           # events the lockstep shadow replayed
     conform_divergences: int = 0
     conform_unattributed: int = 0
+    n_cpus: int = 1
+    #: cpu -> divergence count from the per-CPU lockstep shadows (empty on
+    #: a uniprocessor run, and for reports from before the SMP harness)
+    conform_per_cpu: dict = field(default_factory=dict)
     cycles: int = 0
     disk_retries: int = 0
     tlb_parity_recoveries: int = 0
@@ -159,6 +176,10 @@ class ChaosReport:
         out = asdict(self)
         out["resolutions"] = dict(self.resolutions)
         out["points_fired"] = dict(self.points_fired)
+        # JSON turns int keys into strings; encode as strings here so the
+        # dict survives a dumps/loads round-trip unchanged.
+        out["conform_per_cpu"] = {str(k): v
+                                  for k, v in self.conform_per_cpu.items()}
         return out
 
     @classmethod
@@ -168,6 +189,8 @@ class ChaosReport:
         data["points_fired"] = Counter(data.get("points_fired", {}))
         data["failures"] = list(data.get("failures", []))
         data["event_summary"] = dict(data.get("event_summary", {}))
+        data["conform_per_cpu"] = {int(k): v for k, v in
+                                   data.get("conform_per_cpu", {}).items()}
         return cls(**data)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -184,25 +207,37 @@ def run_chaos(seed: int, preset: str = "mixed", steps: int = 200,
               n_tasks: int = 3, n_pages: int = 4,
               policy: PolicyConfig = NEW_SYSTEM,
               config: MachineConfig | None = None,
-              conform: bool = True, trace: bool = False) -> ChaosReport:
+              conform: bool = True, trace: bool = False,
+              n_cpus: int = 1) -> ChaosReport:
     """One seeded chaos run over the witness workload; returns the report
     with invariant verification already applied.  With ``conform`` the
     lockstep conformance shadow records divergences alongside the value
     oracle (see invariant 2 for how they are attributed).  With ``trace``
     the structured event bus records the run, so every injection and
     divergence is also a clock-stamped trace event
-    (``report.event_summary``)."""
+    (``report.event_summary``).  With ``n_cpus > 1`` the run boots a
+    :class:`~repro.hw.smp.CoherentCluster`, the stressor's tasks spread
+    over the CPUs, the ``smp.snoop.*`` race points arm, and the
+    conformance shadow becomes one lockstep oracle *per CPU*
+    (divergences name the CPU that diverged)."""
     plan = build_plan(seed, preset)
-    kernel = Kernel(policy=policy, config=config or chaos_machine(),
+    kernel = Kernel(policy=policy,
+                    config=config or chaos_machine(n_cpus=n_cpus),
                     buffer_cache_pages=24)
+    cluster = kernel.machine.cluster
+    n_cpus = 1 if cluster is None else len(cluster)
     oracle = kernel.machine.oracle
     oracle.record_only = True
     if trace:
         kernel.machine.bus.enable()
     monitor = None
     if conform:
-        monitor = ConformanceMonitor(kernel, record_only=True,
-                                     max_events=512).attach()
+        if n_cpus > 1:
+            monitor = SmpConformanceMonitor(kernel, record_only=True,
+                                            max_events=512).attach()
+        else:
+            monitor = ConformanceMonitor(kernel, record_only=True,
+                                         max_events=512).attach()
     injector = FaultInjector(plan, kernel.machine.clock)
     injector.attach_kernel(kernel)
 
@@ -238,6 +273,10 @@ def run_chaos(seed: int, preset: str = "mixed", steps: int = 200,
         violations=len(oracle.violations),
         conform_events=monitor.events_seen if monitor else 0,
         conform_divergences=len(monitor.divergences) if monitor else 0,
+        n_cpus=n_cpus,
+        conform_per_cpu=(monitor.per_cpu_divergences()
+                         if isinstance(monitor, SmpConformanceMonitor)
+                         else {}),
         cycles=kernel.machine.clock.cycles,
         disk_retries=counters.disk_retries,
         tlb_parity_recoveries=counters.tlb_parity_recoveries,
@@ -304,10 +343,28 @@ def verify_report(report: ChaosReport, injector: FaultInjector,
         for divergence in monitor.divergences:
             if divergence.frame not in diverged_frames:
                 report.conform_unattributed += 1
+                where = ("" if divergence.cpu is None
+                         else f"cpu{divergence.cpu}: ")
                 report.failures.append(
-                    f"conformance divergence on frame {divergence.frame} "
-                    f"({divergence.kind}) not attributable to any injected "
-                    f"divergence-creating fault")
+                    f"{where}conformance divergence on frame "
+                    f"{divergence.frame} ({divergence.kind}) not "
+                    f"attributable to any injected divergence-creating "
+                    f"fault")
+
+    # 2c. Snoop races are consequential by construction (the cluster only
+    # consults the injector when a peer copy is resident or dirty), so
+    # each record is settled here: *observed* when the value oracle or a
+    # per-CPU lockstep shadow caught the frame, else *harmless* — the
+    # oracle checks every read, so silence means no stale value was ever
+    # delivered (the racing line was evicted, overwritten, or re-snooped
+    # before anyone read through it).
+    observed_frames = ({v.paddr // page_size for v in oracle.violations}
+                       | ({d.frame for d in monitor.divergences}
+                          if monitor is not None else set()))
+    for record in injector.audit:
+        if record.point in SNOOP_POINTS and record.resolution is None:
+            record.resolve("observed" if record.ppage in observed_frames
+                           else "harmless")
 
     # 3. Immediate detection: a consequential skipped DMA-read preparation
     # is observed by the device read that follows it — unless that very
@@ -343,11 +400,16 @@ def verify_report(report: ChaosReport, injector: FaultInjector,
 
     # 1. Typed failure only is enforced structurally: run_chaos catches
     # ReproError; anything else propagates out of the harness.
+
+    # Re-count dispositions: verification above settles resolutions
+    # (snoop races, skipped preparations) after the report was built.
+    report.resolutions = Counter(r.resolution or "latent"
+                                 for r in injector.audit)
     return report
 
 
 def run_chaos_suite(seeds, preset: str = "mixed", steps: int = 200,
-                    jobs: int = 1, executor=None,
+                    jobs: int = 1, executor=None, n_cpus: int = 1,
                     **kwargs) -> list[ChaosReport]:
     """Run one chaos run per seed; every report must uphold the invariant
     (callers assert ``all(r.ok for r in reports)``).
@@ -355,21 +417,22 @@ def run_chaos_suite(seeds, preset: str = "mixed", steps: int = 200,
     With ``jobs > 1`` (or an explicit farm ``executor``) the suite runs
     as a sharded spec batch on the simulation farm — identical reports
     in seed order, sharding and caching per the executor — which only
-    covers the (seed, preset, steps) surface: custom kernels or machines
-    (``**kwargs``) are not content-addressable and stay serial.
+    covers the (seed, preset, steps, n_cpus) surface: custom kernels or
+    machines (``**kwargs``) are not content-addressable and stay serial.
     """
     if jobs <= 1 and executor is None:
-        return [run_chaos(seed, preset=preset, steps=steps, **kwargs)
+        return [run_chaos(seed, preset=preset, steps=steps, n_cpus=n_cpus,
+                          **kwargs)
                 for seed in seeds]
     if kwargs:
         raise ConfigurationError(
-            f"the farmed chaos suite shards only (seed, preset, steps); "
-            f"run jobs=1 for custom arguments {sorted(kwargs)}")
+            f"the farmed chaos suite shards only (seed, preset, steps, "
+            f"n_cpus); run jobs=1 for custom arguments {sorted(kwargs)}")
     from repro.farm import Executor, farm_chaos_suite
 
     if executor is None:
         executor = Executor(jobs=jobs)
-    return farm_chaos_suite(seeds, preset, steps, executor)
+    return farm_chaos_suite(seeds, preset, steps, executor, n_cpus=n_cpus)
 
 
 def render_suite(reports: list[ChaosReport]) -> str:

@@ -35,6 +35,19 @@ Injection-point catalog (``detail`` keys each point records):
                         (``asid``, ``vpage``)
 ``kernel.fault.stall``  the fault handler makes no progress once
                         (``asid``, ``vaddr``)
+``smp.snoop.invalidate.drop``  a store's invalidation snoop never
+                        reaches a resident peer copy (``ppage``, ``cpu``,
+                        ``victim``)
+``smp.snoop.writeback.stale``  a read snoop finds a dirty peer copy but
+                        the write-back is lost: the reader fills from
+                        stale memory (``ppage``, ``cpu``, ``victim``)
+``smp.snoop.writeback.lost``  an invalidation snoop drops a dirty peer
+                        copy *without* writing it back (``ppage``,
+                        ``cpu``, ``victim``)
+``smp.snoop.invalidate.misroute``  the invalidation is delivered to the
+                        wrong equivalent line — one cache page over — so
+                        the intended copy survives (``ppage``, ``cpu``,
+                        ``victim``)
 ====================== ==================================================
 
 Determinism: decisions are drawn from ``random.Random(plan.seed)`` in
@@ -58,6 +71,8 @@ CONSISTENCY_POINTS = frozenset({
     "pmap.flush.drop", "pmap.flush.duplicate",
     "pmap.purge.drop", "pmap.purge.duplicate",
     "pmap.dma_read_prep.skip", "pmap.dma_write_prep.skip",
+    "smp.snoop.invalidate.drop", "smp.snoop.writeback.stale",
+    "smp.snoop.writeback.lost", "smp.snoop.invalidate.misroute",
 })
 
 #: the subset of consistency injections that can leave memory, cache, or
@@ -65,6 +80,16 @@ CONSISTENCY_POINTS = frozenset({
 DIVERGENCE_POINTS = frozenset({
     "pmap.flush.drop", "pmap.purge.drop",
     "pmap.dma_read_prep.skip", "pmap.dma_write_prep.skip",
+    "smp.snoop.invalidate.drop", "smp.snoop.writeback.stale",
+    "smp.snoop.writeback.lost", "smp.snoop.invalidate.misroute",
+})
+
+#: snoop-race injections: only consulted on a multiprocessor, and only
+#: when a peer copy makes the race observable (so every firing is
+#: consequential by construction)
+SNOOP_POINTS = frozenset({
+    "smp.snoop.invalidate.drop", "smp.snoop.writeback.stale",
+    "smp.snoop.writeback.lost", "smp.snoop.invalidate.misroute",
 })
 
 #: injections absorbed by an explicit recovery path (retry, parity refill,
@@ -79,6 +104,47 @@ RECOVERABLE_POINTS = frozenset({
 TERMINAL_POINTS = frozenset({"disk.read.missing"})
 
 ALL_POINTS = CONSISTENCY_POINTS | RECOVERABLE_POINTS | TERMINAL_POINTS
+
+#: one-line description per point, for ``--list-points`` (kept in lockstep
+#: with ALL_POINTS by an assertion test)
+POINT_DESCRIPTIONS = {
+    "pmap.flush.drop": "a cache-page flush silently does nothing",
+    "pmap.flush.duplicate": "a flush runs twice (idempotency witness)",
+    "pmap.purge.drop": "a cache-page purge silently does nothing",
+    "pmap.purge.duplicate": "a purge runs twice (idempotency witness)",
+    "pmap.dma_read_prep.skip": "prepare_dma_read returns without flushing",
+    "pmap.dma_write_prep.skip": "prepare_dma_write returns without purging",
+    "dma.transfer.corrupt": "a DMA transfer is corrupted on the wire "
+                            "(device status reports it)",
+    "dma.transfer.partial": "only a prefix of the page is transferred",
+    "disk.read.transient": "a disk read fails at the device (retryable)",
+    "disk.write.transient": "a disk write fails at the device (retryable)",
+    "disk.read.missing": "a platter block has vanished (terminal)",
+    "tlb.entry.corrupt": "a TLB entry is corrupted; parity catches it",
+    "kernel.fault.stall": "the fault handler makes no progress once",
+    "smp.snoop.invalidate.drop": "a store's invalidation snoop never "
+                                 "reaches a resident peer copy",
+    "smp.snoop.writeback.stale": "a read snoop loses the dirty peer "
+                                 "write-back; the reader fills stale memory",
+    "smp.snoop.writeback.lost": "an invalidation drops a dirty peer copy "
+                                "without writing it back",
+    "smp.snoop.invalidate.misroute": "the invalidation hits the wrong "
+                                     "equivalent line; the real copy "
+                                     "survives",
+}
+
+
+def classify_point(point: str) -> str:
+    """The catalog class of a point, for display and reporting."""
+    if point in SNOOP_POINTS:
+        return "snoop-race"
+    if point in CONSISTENCY_POINTS:
+        return "consistency"
+    if point in RECOVERABLE_POINTS:
+        return "recoverable"
+    if point in TERMINAL_POINTS:
+        return "terminal"
+    raise ConfigurationError(f"unknown injection point {point!r}")
 
 
 # ---- plans -----------------------------------------------------------------
@@ -223,15 +289,19 @@ class FaultInjector:
         kernel.disk.injector = self
         kernel.machine.dma.injector = self
         kernel.machine.tlb.injector = self
+        if getattr(kernel.machine, "cluster", None) is not None:
+            kernel.machine.cluster.injector = self
         self.bus = kernel.machine.bus
         return self
 
     def attach(self, *, pmap=None, disk=None, dma=None, tlb=None,
-               kernel=None) -> "FaultInjector":
+               cluster=None, kernel=None) -> "FaultInjector":
         """Wire the injector into individual components (for rigs that
         assemble a machine without a full kernel)."""
         if pmap is not None:
             pmap.injector = self
+        if cluster is not None:
+            cluster.injector = self
         if disk is not None:
             disk.injector = self
         if dma is not None:

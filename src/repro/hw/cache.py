@@ -568,7 +568,8 @@ class Cache:
 
     # ---- coherence snooping (the Section 3.3 multiprocessor extension) -------
 
-    def snoop(self, set_idx: int, tag: int, invalidate: bool) -> str | None:
+    def snoop(self, set_idx: int, tag: int, invalidate: bool,
+              write_back: bool = True) -> str | None:
         """A coherence probe from another cache in a coherent cluster.
 
         Looks for the physical line ``tag`` in set ``set_idx`` (the
@@ -577,6 +578,10 @@ class Cache:
         (another processor is about to write), otherwise it is left clean
         (another processor is about to read).
 
+        ``write_back=False`` suppresses the dirty write-back — no real
+        protocol does this; it exists so the fault injector can model a
+        lost coherence write-back (``smp.snoop.writeback.lost``).
+
         Returns None (not resident), "clean" or "dirty" for what was found.
         """
         way = self._find_way(set_idx, tag)
@@ -584,11 +589,87 @@ class Cache:
             return None
         found = "dirty" if self._dirty[way, set_idx] else "clean"
         if self._dirty[way, set_idx]:
-            self._write_back_line(way, set_idx)
+            if write_back:
+                self._write_back_line(way, set_idx)
             self._dirty[way, set_idx] = False
         if invalidate:
             self._tags[way, set_idx] = _INVALID
         return found
+
+    def probe_run(self, vaddr: int, paddr: int, n_words: int) -> tuple[int, int]:
+        """Count (resident, dirty) equivalent lines of a run, mutating
+        nothing — the cluster asks this before deciding whether a snoop
+        (or an injected snoop race) is even relevant."""
+        geo = self.geo
+        if geo.associativity > 1:
+            found = dirty = 0
+            first_tag = paddr // geo.line_size
+            last_off = (n_words - 1) * WORD_SIZE
+            n_lines = (paddr + last_off) // geo.line_size - first_tag + 1
+            base = vaddr - (vaddr % geo.line_size)
+            for i in range(n_lines):
+                set_idx = self._set_of(base + i * geo.line_size,
+                                       (first_tag + i) * geo.line_size)
+                way = self._find_way(set_idx, first_tag + i)
+                if way is not None:
+                    found += 1
+                    if self._dirty[way, set_idx]:
+                        dirty += 1
+            return found, dirty
+        sets, want, _counts, _first, _n = self._run_shape(vaddr, paddr, n_words)
+        hit = self._tags[0, sets] == want
+        return int(hit.sum()), int((hit & self._dirty[0, sets]).sum())
+
+    def snoop_run(self, vaddr: int, paddr: int, n_words: int,
+                  invalidate: bool, write_back: bool = True) -> tuple[int, int]:
+        """Vectorized coherence probe for a whole run (or page) at once.
+
+        Semantically identical to calling :meth:`snoop` per line of the
+        run; returns ``(resident, dirty)`` line counts so the cluster can
+        account coherence traffic.  Snoop probes themselves are free on
+        the shared clock (the bus runs them in parallel with the access);
+        only dirty write-backs cost cycles, exactly as a victim
+        write-back does.
+        """
+        geo = self.geo
+        if geo.associativity > 1:
+            found = dirty = 0
+            first_tag = paddr // geo.line_size
+            last_off = (n_words - 1) * WORD_SIZE
+            n_lines = (paddr + last_off) // geo.line_size - first_tag + 1
+            base = vaddr - (vaddr % geo.line_size)
+            for i in range(n_lines):
+                set_idx = self._set_of(base + i * geo.line_size,
+                                       (first_tag + i) * geo.line_size)
+                got = self.snoop(set_idx, first_tag + i, invalidate,
+                                 write_back=write_back)
+                if got is not None:
+                    found += 1
+                    if got == "dirty":
+                        dirty += 1
+            return found, dirty
+        sets, want, _counts, _first, _n = self._run_shape(vaddr, paddr, n_words)
+        tags = self._tags[0, sets]
+        hit = tags == want
+        n_found = int(hit.sum())
+        if not n_found:
+            return 0, 0
+        dirty_view = self._dirty[0, sets]
+        dirty_mask = hit & dirty_view
+        n_dirty = int(dirty_mask.sum())
+        if n_dirty:
+            if write_back:
+                idxs = np.flatnonzero(dirty_mask)
+                # want is a strictly increasing arange, so no duplicate
+                # tags: the vectorized scatter is order-safe here.
+                self.memory.write_lines(want[idxs], self._data[0, sets][idxs],
+                                        geo.words_per_line)
+                self.counters.write_backs += n_dirty
+                self.clock.advance(n_dirty * self.cost.write_back)
+            dirty_view[dirty_mask] = False
+        if invalidate:
+            self._tags[0, sets][hit] = _INVALID
+        return n_found, n_dirty
 
     # ---- inspection (tests, invariant checks) --------------------------------
 

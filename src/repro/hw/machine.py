@@ -33,6 +33,7 @@ from repro.hw.cache import Cache
 from repro.hw.dma import DmaEngine
 from repro.hw.params import WORD_SIZE, MachineConfig
 from repro.hw.physmem import PhysicalMemory
+from repro.hw.smp import CoherentCluster, SmpDataCache
 from repro.hw.stats import Clock, Counters
 from repro.hw.tlb import Tlb
 from repro.obs.events import EventBus
@@ -60,7 +61,15 @@ FaultHandler = Callable[[FaultInfo], None]
 
 
 class Machine:
-    """A uniprocessor with split virtually-indexed I/D caches and DMA."""
+    """A machine with split virtually-indexed I/D caches and DMA.
+
+    ``config.n_cpus == 1`` is the paper's uniprocessor.  With more CPUs
+    the data cache becomes a Section 3.3 :class:`CoherentCluster` of
+    per-CPU caches behind an :class:`SmpDataCache` facade; accesses are
+    routed to the CPU the task's address space is bound to
+    (:meth:`bind_cpu`), and the instruction cache stays shared (it is
+    never dirty, so it needs no coherence).
+    """
 
     def __init__(self, config: MachineConfig):
         self.config = config
@@ -73,8 +82,19 @@ class Machine:
         self.memory = PhysicalMemory(config.phys_pages, config.page_size)
         self.oracle = (ShadowMemory(config.phys_pages, config.page_size)
                        if config.check_consistency else None)
-        self.dcache = Cache(config.dcache, self.memory, config.cost,
-                            self.clock, self.counters, name="dcache")
+        if config.n_cpus > 1:
+            self.cluster = CoherentCluster(config.n_cpus, config.dcache,
+                                           self.memory, config.cost,
+                                           self.clock, self.counters)
+            self.dcache = SmpDataCache(self.cluster)
+            # asid -> CPU; unbound address spaces run on CPU 0 (where
+            # the kernel's own asid-0 accesses also land).
+            self.cpu_bindings: dict[int, int] | None = {}
+        else:
+            self.cluster = None
+            self.cpu_bindings = None
+            self.dcache = Cache(config.dcache, self.memory, config.cost,
+                                self.clock, self.counters, name="dcache")
         self.icache = Cache(config.icache, self.memory, config.cost,
                             self.clock, self.counters, name="icache",
                             is_icache=True)
@@ -93,6 +113,27 @@ class Machine:
         # mapping is already writable.
         self.write_notifier: Callable[[int, int], None] | None = None
 
+    # ---- CPU scheduling (multiprocessor only) --------------------------------
+
+    def bind_cpu(self, asid: int, cpu: int) -> None:
+        """Pin an address space to a CPU; its accesses go through that
+        CPU's cache.  (This models which processor the task is scheduled
+        on; the simulator executes one access at a time, so binding is
+        the whole scheduling interface the hardware needs.)"""
+        if self.cluster is None:
+            if cpu != 0:
+                raise ValueError(f"uniprocessor machine has no CPU {cpu}")
+            return
+        if not 0 <= cpu < len(self.cluster):
+            raise ValueError(f"CPU {cpu} out of range for "
+                             f"{len(self.cluster)}-CPU cluster")
+        self.cpu_bindings[asid] = cpu
+
+    def cpu_of(self, asid: int) -> int:
+        if self.cpu_bindings is None:
+            return 0
+        return self.cpu_bindings.get(asid, 0)
+
     # ---- translation with fault retry ---------------------------------------
 
     def _translate(self, asid: int, vaddr: int,
@@ -103,6 +144,11 @@ class Machine:
         :class:`FaultLoopError` if the handler fails to make progress, and
         :class:`ProtectionError` if no handler is installed.
         """
+        if self.cpu_bindings is not None:
+            # Route the access to the CPU this address space runs on;
+            # every access path translates first, so this one store is
+            # the complete SMP routing layer.
+            self.dcache.current_cpu = self.cpu_bindings.get(asid, 0)
         vpage = vaddr // self.page_size
         needed = access.required
         for attempt in range(MAX_FAULT_RETRIES + 1):

@@ -171,6 +171,11 @@ class MachineConfig:
         cost: the cycle-cost model.
         check_consistency: install the staleness oracle; every value the
             memory system transfers to the CPU or a device is checked.
+        n_cpus: number of CPUs.  1 gives the paper's uniprocessor; >1
+            builds a Section 3.3 :class:`~repro.hw.smp.CoherentCluster`
+            of per-CPU data caches kept coherent by snooping (the
+            instruction cache stays shared — it is never dirty, so it
+            needs no coherence protocol).
     """
 
     dcache: CacheGeometry = field(default_factory=CacheGeometry)
@@ -180,12 +185,15 @@ class MachineConfig:
     tlb_entries: int = 128
     cost: CostModel = field(default_factory=CostModel)
     check_consistency: bool = True
+    n_cpus: int = 1
 
     def __post_init__(self) -> None:
         if self.dcache.page_size != self.icache.page_size:
             raise ConfigurationError("I and D caches must agree on page size")
         if self.phys_pages <= 0:
             raise ConfigurationError("phys_pages must be positive")
+        if self.n_cpus < 1:
+            raise ConfigurationError("n_cpus must be at least 1")
 
     @property
     def page_size(self) -> int:

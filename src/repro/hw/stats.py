@@ -125,6 +125,10 @@ class Counters:
     dma_reads: int = 0        # device reads memory (disk write / pageout)
     dma_writes: int = 0       # device writes memory (disk read / pagein)
 
+    # SMP snoop coherence (zero on a uniprocessor)
+    coherence_invalidations: int = 0  # remote copies invalidated by a store
+    coherence_writebacks: int = 0     # dirty remote copies written back by a snoop
+
     # OS-level events of interest to the evaluation
     d_to_i_copies: int = 0    # pages copied from data space into instruction space
     ipc_page_moves: int = 0
@@ -181,8 +185,12 @@ class Counters:
 
     @staticmethod
     def _total(counter: Counter, cache: str | None, reason: Reason | None) -> int:
+        # A cluster's per-CPU caches record under "cpu{i}.dcache"; a query
+        # for "dcache" aggregates them so the analysis layer is agnostic
+        # to how many CPUs produced the traffic.
         return sum(n for (c, r), n in counter.items()
-                   if (cache is None or c == cache)
+                   if (cache is None or c == cache
+                       or c.endswith("." + cache))
                    and (reason is None or r == reason))
 
     def snapshot(self) -> dict:
@@ -212,6 +220,8 @@ class Counters:
             "tlb_misses": self.tlb_misses,
             "dma_reads": self.dma_reads,
             "dma_writes": self.dma_writes,
+            "coherence_invalidations": self.coherence_invalidations,
+            "coherence_writebacks": self.coherence_writebacks,
             "d_to_i_copies": self.d_to_i_copies,
             "ipc_page_moves": self.ipc_page_moves,
             "pages_zero_filled": self.pages_zero_filled,

@@ -8,6 +8,7 @@ from repro.kernel.ipc import transfer_page
 from repro.kernel.pageout import PageoutDaemon
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import UserProcess, fresh_tokens
+from repro.kernel.scheduler import Scheduler, Tasklet
 from repro.kernel.task import Task, fork_task
 from repro.kernel.unix_server import Channel, UnixServer
 
@@ -15,4 +16,5 @@ __all__ = [
     "Kernel", "Task", "fork_task", "UserProcess", "fresh_tokens",
     "transfer_page", "BufferCache", "Disk", "FileSystem", "FileMeta",
     "ExecLoader", "Program", "UnixServer", "Channel", "PageoutDaemon",
+    "Scheduler", "Tasklet",
 ]

@@ -106,9 +106,18 @@ class Kernel:
 
     # ---- tasks -------------------------------------------------------------------
 
-    def create_task(self, name: str | None = None) -> Task:
+    def create_task(self, name: str | None = None,
+                    cpu: int | None = None) -> Task:
         task = Task(self, next(self._asids), name)
         self.tasks[task.asid] = task
+        if self.machine.cluster is not None:
+            # Deterministic round-robin placement unless the caller pins
+            # the task; asid 1 (the Unix server) lands on CPU 0.
+            if cpu is None:
+                cpu = (task.asid - 1) % len(self.machine.cluster)
+            self.machine.bind_cpu(task.asid, cpu)
+        elif cpu not in (None, 0):
+            raise KernelError(f"no CPU {cpu} on a uniprocessor")
         return task
 
     def destroy_task(self, task: Task) -> None:

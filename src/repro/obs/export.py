@@ -34,6 +34,7 @@ PROM_PREFIX = "repro"
 SCALAR_FIELDS = (
     "read_hits", "read_misses", "write_hits", "write_misses",
     "write_backs", "tlb_hits", "tlb_misses", "dma_reads", "dma_writes",
+    "coherence_invalidations", "coherence_writebacks",
     "d_to_i_copies", "ipc_page_moves", "pages_zero_filled",
     "pages_copied", "pages_made_uncached", "disk_retries",
     "tlb_parity_recoveries", "frames_quarantined",

@@ -101,6 +101,14 @@ class TestKeys:
         assert (JobSpec.chaos(seed=1, steps=100).key(self.FP)
                 != JobSpec.chaos(seed=1, steps=200).key(self.FP))
 
+    def test_uniprocessor_chaos_keys_predate_n_cpus(self):
+        # Adding the n_cpus parameter must not orphan every cached
+        # uniprocessor chaos result: 1 and None both key like the old spec.
+        old = JobSpec.make("chaos", seed=5, preset="mixed", steps=200)
+        assert JobSpec.chaos(seed=5).key(self.FP) == old.key(self.FP)
+        assert JobSpec.chaos(seed=5, n_cpus=1).key(self.FP) == old.key(self.FP)
+        assert JobSpec.chaos(seed=5, n_cpus=4).key(self.FP) != old.key(self.FP)
+
     def test_key_changes_with_kind_and_fingerprint(self):
         a = JobSpec.make("alpha", seed=1)
         b = JobSpec.make("beta", seed=1)

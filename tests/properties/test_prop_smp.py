@@ -4,6 +4,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.hw.cache import Cache
 from repro.hw.params import CacheGeometry, CostModel
 from repro.hw.physmem import PhysicalMemory
 from repro.hw.smp import CoherentCluster
@@ -80,3 +81,73 @@ class TestCoherentClusterProperties:
         cluster.flush_page_frame(0, 0, None)
         for paddr, value in reference.items():
             assert cluster.memory.read_word(paddr) == value
+
+
+# --- 1-CPU degeneracy -------------------------------------------------------
+#
+# A cluster of one must be the uniprocessor: same data, same cycle count,
+# same counters.  Anything the coherence layer adds on N=1 is overhead the
+# paper's baseline never paid.
+
+mixed_ops = st.lists(
+    st.tuples(st.sampled_from(["read", "write", "read_run", "write_run",
+                               "flush", "purge"]),
+              st.integers(0, 100),      # word within the first page
+              st.integers(0, 2),        # aligned window
+              st.integers(0, 2**30)),   # value / run length seed
+    min_size=1, max_size=50)
+
+
+def drive(target, ops, geo, cpu_prefix):
+    """Apply one op list; ``cpu_prefix`` is () for a bare Cache and
+    ``(0,)`` for a cluster."""
+    observed = []
+    for op, word, window, value in ops:
+        paddr = word * 4
+        vaddr = paddr + window * geo.way_span
+        if op == "read":
+            observed.append(target.read(*cpu_prefix, vaddr, paddr))
+        elif op == "write":
+            target.write(*cpu_prefix, vaddr, paddr, value)
+        elif op == "read_run":
+            observed.extend(
+                int(v) for v in
+                target.read_run(*cpu_prefix, vaddr, paddr, 1 + value % 8))
+        elif op == "write_run":
+            target.write_run(*cpu_prefix, vaddr, paddr,
+                             [value, value ^ 1, value ^ 2])
+        elif op == "flush":
+            target.flush_page_frame(0, 0, None)
+        else:
+            target.purge_page_frame(0, 0, None)
+    return observed
+
+
+class TestUniprocessorDegeneracy:
+    @given(mixed_ops)
+    @settings(max_examples=100, deadline=None)
+    def test_one_cpu_cluster_is_bit_identical_to_a_bare_cache(self, ops):
+        geo = CacheGeometry(size=8 * 1024)
+        flat_mem = PhysicalMemory(8, PAGE)
+        flat_clock, flat_counters = Clock(), Counters()
+        flat = Cache(geo, flat_mem, CostModel(), flat_clock, flat_counters)
+
+        clu_mem = PhysicalMemory(8, PAGE)
+        clu_clock, clu_counters = Clock(), Counters()
+        cluster = CoherentCluster(1, geo, clu_mem, CostModel(), clu_clock,
+                                  clu_counters)
+
+        assert drive(flat, ops, geo, ()) == drive(cluster, ops, geo, (0,))
+        # Same data everywhere -- cached state included, so flush both
+        # and compare raw memory.
+        flat.flush_page_frame(0, 0, None)
+        cluster.flush_page_frame(0, 0, None)
+        for word in range(128):
+            assert flat_mem.read_word(word * 4) \
+                == clu_mem.read_word(word * 4)
+        # Same simulated time, same aggregate counters; the coherence
+        # counters must not have moved (there is no peer to snoop).
+        assert flat_clock.cycles == clu_clock.cycles
+        assert flat_counters.snapshot() == clu_counters.snapshot()
+        assert clu_counters.coherence_invalidations == 0
+        assert clu_counters.coherence_writebacks == 0
