@@ -1,0 +1,203 @@
+"""Cache-hierarchy matrix: the architecture × policy grid, farm-swept.
+
+Section 3.3's claim — set-associative L1s, victim caches, and physically
+indexed L2s change *nothing* about the software consistency rules — is
+verified functionally by the conformance matrix
+(:mod:`repro.conformance.matrix`); this bench measures the same grid and
+gates the *performance* facts that make the hierarchy model credible:
+
+* **degeneracy** — the explicit ``1way`` geometry spec produces metrics
+  bit-identical to no spec at all (the seed direct-mapped machine);
+* **lower levels help, never hurt** — adding a victim cache or an L2 to
+  a fixed L1 cannot increase total cycles (fills served at 4 or 10
+  cycles instead of 20, everything else untouched);
+* **the plumbing is live** — victim cells capture and hit, L2 cells
+  fill and (without a victim absorbing the re-references) hit.
+
+The L1 is held at 32 KiB so the 256 KiB L2 actually sits *below* it —
+an L2 smaller than L1 never hits, which is itself a fact this bench
+documents by construction.  Results land in ``BENCH_hierarchy.json``.
+Each point is one farm job (``JobSpec.workload`` with a ``geometry``
+spec), sharded across ``REPRO_FARM_JOBS`` workers and cached.  Also
+runnable standalone (the CI hierarchy job invocation)::
+
+    PYTHONPATH=src python benchmarks/bench_hierarchy_matrix.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_hierarchy.json"
+
+if str(REPO_ROOT / "src") not in sys.path:      # standalone invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.farm import Executor, JobSpec
+
+WORKLOAD = "latex-paper"
+SCALE = 0.1
+DCACHE_KIB = 32
+POLICIES = ("A", "F")
+WAYS = (1, 2, 4)
+#: lower-hierarchy variants per L1 shape; None == bare L1 (the baseline
+#: the help-never-hurt gate compares against).
+LOWER = (None, "victim8", "l2:256k/4", "victim8+l2:256k/4")
+
+
+def _spec_string(ways: int, lower: str | None) -> str | None:
+    tokens = []
+    if ways != 1:
+        tokens.append(f"{ways}way")
+    if lower is not None:
+        tokens.append(lower)
+    return "+".join(tokens) or None
+
+
+def _grid() -> list[tuple[str, int, str | None]]:
+    return [(policy, ways, lower)
+            for policy in POLICIES for ways in WAYS for lower in LOWER]
+
+
+def measure(executor: Executor | None = None) -> dict:
+    executor = executor or Executor(jobs=1)
+    grid = _grid()
+    specs = [JobSpec.workload(workload=WORKLOAD, policy=policy,
+                              scale=SCALE, dcache_kib=DCACHE_KIB,
+                              geometry=_spec_string(ways, lower))
+             for policy, ways, lower in grid]
+    # The degeneracy pair: the explicit "1way" spec (a distinct cache
+    # key) must reproduce the no-spec baseline bit for bit.
+    degeneracy = [JobSpec.workload(workload=WORKLOAD, policy=policy,
+                                   scale=SCALE, dcache_kib=DCACHE_KIB,
+                                   geometry="1way")
+                  for policy in POLICIES]
+    outcomes = executor.run(specs + degeneracy)
+    assert all(o.ok for o in outcomes), \
+        [str(o.failure) for o in outcomes if not o.ok]
+    points = []
+    for (policy, ways, lower), outcome in zip(grid, outcomes):
+        points.append({
+            "policy": policy, "ways": ways, "lower": lower,
+            "geometry": _spec_string(ways, lower),
+            "cycles": outcome.payload["metrics"]["cycles"],
+            "metrics": outcome.payload["metrics"],
+            "hierarchy": outcome.payload.get("hierarchy"),
+        })
+    return {
+        "workload": WORKLOAD,
+        "scale": SCALE,
+        "dcache_kib": DCACHE_KIB,
+        "points": points,
+        "degeneracy": [
+            {"policy": policy, "metrics": outcome.payload["metrics"]}
+            for policy, outcome in zip(POLICIES, outcomes[len(grid):])
+        ],
+        "farm": executor.stats.as_dict(),
+    }
+
+
+def _point(result: dict, policy: str, ways: int,
+           lower: str | None) -> dict:
+    for p in result["points"]:
+        if (p["policy"], p["ways"], p["lower"]) == (policy, ways, lower):
+            return p
+    raise KeyError((policy, ways, lower))
+
+
+def render(result: dict) -> str:
+    lines = [
+        f"Cache-hierarchy matrix: {result['workload']} at scale "
+        f"{result['scale']}, {result['dcache_kib']} KiB L1",
+        "",
+        f"{'policy':>6} {'ways':>5} {'lower hierarchy':>18} "
+        f"{'cycles':>10} {'vs bare L1':>10} {'victim h/c':>12} "
+        f"{'L2 h/f':>12}",
+    ]
+    for policy in POLICIES:
+        for ways in WAYS:
+            base = _point(result, policy, ways, None)["cycles"]
+            for lower in LOWER:
+                p = _point(result, policy, ways, lower)
+                h = p["hierarchy"] or {}
+                delta = p["cycles"] - base
+                lines.append(
+                    f"{policy:>6} {ways:>5} {str(lower or '—'):>18} "
+                    f"{p['cycles']:>10} {delta:>+10} "
+                    f"{h.get('victim_hits', 0):>5}/"
+                    f"{h.get('victim_captures', 0):<6} "
+                    f"{h.get('l2_hits', 0):>5}/{h.get('l2_fills', 0):<6}")
+    lines.append("")
+    lines.append("a victim cache or L2 under the same L1 never costs "
+                 "cycles, and the '1way' spec is bit-identical to the "
+                 "seed machine (Section 3.3: same rules, cheaper fills)")
+    return "\n".join(lines)
+
+
+def check(result: dict) -> list[str]:
+    """The CI gates; returns failure descriptions (empty == pass)."""
+    failures = []
+    # 1. Degeneracy: geometry="1way" == no geometry, every metric.
+    for entry in result["degeneracy"]:
+        baseline = _point(result, entry["policy"], 1, None)["metrics"]
+        if entry["metrics"] != baseline:
+            failures.append(
+                f"policy {entry['policy']}: geometry='1way' metrics "
+                f"differ from the no-geometry baseline")
+    for policy in POLICIES:
+        for ways in WAYS:
+            base = _point(result, policy, ways, None)
+            if base["hierarchy"] is not None:
+                failures.append(
+                    f"{policy}/{ways}way: bare L1 reports a hierarchy")
+            for lower in LOWER[1:]:
+                p = _point(result, policy, ways, lower)
+                h = p["hierarchy"]
+                where = f"{policy}/{p['geometry']}"
+                # 2. Lower levels only ever make fills cheaper.
+                if p["cycles"] > base["cycles"]:
+                    failures.append(
+                        f"{where}: {p['cycles']} cycles exceeds the bare "
+                        f"L1's {base['cycles']}")
+                if h is None:
+                    failures.append(f"{where}: no hierarchy counters")
+                    continue
+                # 3. The configured levels are actually exercised.
+                if "victim" in lower:
+                    if h["victim_captures"] == 0:
+                        failures.append(f"{where}: victim captured nothing")
+                    # A victim cache absorbs *conflict* misses, which a
+                    # 4-way L1 mostly eliminates (Jouppi's result) — only
+                    # the low-associativity cells must actually hit.
+                    if ways < 4 and h["victim_hits"] == 0:
+                        failures.append(f"{where}: victim never hit")
+                if "l2" in lower:
+                    if h["l2_fills"] == 0:
+                        failures.append(f"{where}: L2 filled nothing")
+                    # With a victim cache in front, re-references are
+                    # absorbed before reaching the L2 — only gate L2
+                    # hits when the L2 is the first lower level.
+                    if "victim" not in lower and h["l2_hits"] == 0:
+                        failures.append(f"{where}: L2 never hit")
+    return failures
+
+
+def test_hierarchy_matrix(once):
+    from conftest import emit, farm_executor
+    result = once(measure, farm_executor())
+    JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    emit("hierarchy_matrix", render(result))
+    assert check(result) == []
+
+
+if __name__ == "__main__":
+    result = measure()
+    JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(render(result))
+    failures = check(result)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}")
+    sys.exit(1 if failures else 0)

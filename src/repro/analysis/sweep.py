@@ -46,18 +46,25 @@ def machine_with_dcache(kib: int, phys_pages: int = 320) -> MachineConfig:
 def sweep_cache_sizes(workload_name: str, policy: PolicyConfig,
                       sizes_kib: tuple[int, ...] = (32, 64, 128, 256),
                       scale: float = 0.5, jobs: int = 1,
-                      executor=None) -> list[SweepPoint]:
+                      executor=None,
+                      geometry: str | None = None) -> list[SweepPoint]:
     """Run one workload/policy across data-cache sizes.
 
     With ``jobs > 1`` (or an explicit farm ``executor``) each size runs
     as one farm job — identical points, sharded and cacheable (see
     :mod:`repro.farm`); every sweep point is a pure function of
-    (workload, policy, size, scale)."""
+    (workload, policy, size, scale, geometry).  ``geometry`` is an
+    :func:`~repro.hw.params.apply_geometry` spec ("2way+victim8+l2")
+    applied on top of each resized machine."""
     if jobs <= 1 and executor is None:
         points = []
         for kib in sizes_kib:
+            config = machine_with_dcache(kib)
+            if geometry is not None:
+                from repro.hw.params import apply_geometry
+                config = apply_geometry(config, geometry)
             metrics = run_workload(make_workload(workload_name, scale),
-                                   policy, config=machine_with_dcache(kib))
+                                   policy, config=config)
             points.append(SweepPoint(kib, metrics))
         return points
     from repro.farm import Executor, farm_sweep_points
@@ -65,12 +72,13 @@ def sweep_cache_sizes(workload_name: str, policy: PolicyConfig,
     if executor is None:
         executor = Executor(jobs=jobs)
     return farm_sweep_points(workload_name, policy.name, tuple(sizes_kib),
-                             scale, executor)
+                             scale, executor, geometry=geometry)
 
 
 def run_sweep(workload_name: str, policy_names: tuple[str, ...],
               sizes_kib: tuple[int, ...], scale: float = 0.5,
-              jobs: int = 1, executor=None) -> dict[str, list[SweepPoint]]:
+              jobs: int = 1, executor=None,
+              geometry: str | None = None) -> dict[str, list[SweepPoint]]:
     """The CLI's sweep: every policy across every cache size.  When
     farmed, the whole (policy, size) grid runs as one spec batch, so
     every point shares the worker pool."""
@@ -78,14 +86,15 @@ def run_sweep(workload_name: str, policy_names: tuple[str, ...],
         by_name(name)                  # fail fast on unknown policies
     if jobs <= 1 and executor is None:
         return {name: sweep_cache_sizes(workload_name, by_name(name),
-                                        sizes_kib, scale)
+                                        sizes_kib, scale, geometry=geometry)
                 for name in policy_names}
     from repro.farm import Executor, farm_sweep_grid
 
     if executor is None:
         executor = Executor(jobs=jobs)
     return farm_sweep_grid(workload_name, tuple(policy_names),
-                           tuple(sizes_kib), scale, executor)
+                           tuple(sizes_kib), scale, executor,
+                           geometry=geometry)
 
 
 def sweep_to_dict(points_by_policy: dict[str, list[SweepPoint]],

@@ -10,14 +10,15 @@ Usage::
     python -m repro run <workload> [--policy F] [--scale 1.0]
                                    [--inject PLAN --seed N] [--conform]
                                    [--trace-events FILE] [--cpus N]
-                                   [--list-points]
+                                   [--geometry SPEC] [--list-points]
     python -m repro chaos [--plans 50] [--preset mixed] [--steps 200]
                           [--jobs N] [--cpus N] [--list-points]
     python -m repro smp [--out FILE] [--jobs N]
     python -m repro conform [--sequences 200] [--seed 0] [--scale 0.25]
                             [--mutant NAME] [--jobs N]
     python -m repro sweep [--workload kernel-build] [--policies A,F]
-                          [--sizes 32,64,128,256] [--jobs N] [--out FILE]
+                          [--sizes 32,64,128,256] [--geometry SPEC]
+                          [--jobs N] [--out FILE]
     python -m repro farm {stats,gc,clear,run} [--specs FILE] [--jobs N]
     python -m repro trace <workload> [--out FILE] [--diff GOLDEN]
     python -m repro trace compile <workload> --out FILE [--policy F]
@@ -38,6 +39,11 @@ seeded random fault plans.  ``--cpus N`` boots an N-CPU coherent cluster
 the CPUs, ``chaos`` arms the ``smp.snoop.*`` race points and shadows
 every CPU with its own lockstep oracle, and ``smp`` regenerates the
 1..8-CPU aligned-vs-unaligned scaling curve (``BENCH_smp.json``).
+``--geometry SPEC`` reshapes the cache hierarchy for ``run`` and
+``sweep``: '+'-separated tokens ``<N>way`` (set-associative L1),
+``victim<N>`` (fully associative victim cache), ``l2[:SIZE[/WAYS]]``
+(unified physically indexed L2), ``wt``, ``pi`` — every configuration
+obeys the same derived Table 2 (docs/hierarchy.md).
 ``--list-points`` prints the injection-point catalog.  ``conform`` runs the lockstep conformance
 engine (see docs/conformance.md): an explorer sweep, an arc-coverage run,
 and live shadowing of the paper workloads — or, with ``--mutant``,
@@ -138,10 +144,15 @@ def _cmd_run(args) -> None:
         return _print_points()
     policy = by_name(args.policy)
     config = evaluation_machine(n_cpus=args.cpus)
+    geometry = getattr(args, "geometry", None)
+    if geometry:
+        from repro.hw.params import apply_geometry
+
+        config = apply_geometry(config, geometry)
     trace_path = getattr(args, "trace_events", None)
     kernel = injector = monitor = trace_file = None
     if (args.inject or getattr(args, "conform", False) or trace_path
-            or args.cpus > 1):
+            or args.cpus > 1 or config.has_hierarchy):
         from repro.kernel.kernel import Kernel
 
         kernel = Kernel(policy=policy, config=config)
@@ -221,6 +232,12 @@ def _cmd_run(args) -> None:
               f"{counters.coherence_invalidations} invalidations, "
               f"{counters.coherence_writebacks} write-backs "
               f"({args.cpus} CPUs)")
+    if kernel is not None and kernel.machine.hierarchy is not None:
+        counters = kernel.machine.counters
+        print(f"  cache hierarchy:    {counters.victim_hits} victim hits "
+              f"({counters.victim_captures} captures), "
+              f"{counters.l2_hits} L2 hits ({counters.l2_fills} fills) "
+              f"[{geometry}]")
     print(f"  VI-cache overhead:  "
           f"{100 * metrics.consistency_overhead_fraction:.3f}%")
     if injector is not None:
@@ -472,13 +489,16 @@ def _cmd_sweep(args) -> None:
     executor, finish = _farm_setup(args, default_cache=True)
     try:
         points = run_sweep(args.workload, policies, sizes,
-                           scale=args.scale, executor=executor)
+                           scale=args.scale, executor=executor,
+                           geometry=args.geometry)
     finally:
         finish()
     print(render_sweep(points, args.workload))
     print(_farm_line(executor))
     if args.out:
         artifact = sweep_to_dict(points, args.workload, args.scale)
+        if args.geometry:
+            artifact["geometry"] = args.geometry
         artifact["farm"] = executor.stats.as_dict()
         with open(args.out, "w") as handle:
             json.dump(artifact, handle, indent=2)
@@ -733,6 +753,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cpus", type=int, default=1,
                    help="run on an N-CPU coherent cluster (Section 3.3); "
                         "tasks spread round-robin over the CPUs")
+    p.add_argument("--geometry", metavar="SPEC",
+                   help="cache-hierarchy geometry: '+'-separated tokens "
+                        "<N>way, victim<N>, l2[:SIZE[/WAYS]], wt, pi "
+                        "(e.g. '2way+victim8+l2:256k/4'; see "
+                        "docs/hierarchy.md)")
     p.add_argument("--list-points", action="store_true",
                    dest="list_points",
                    help="print the fault-injection point catalog and exit")
@@ -790,6 +815,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", default="32,64,128,256",
                    help="comma-separated data-cache sizes in KiB")
     p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--geometry", metavar="SPEC", default=None,
+                   help="apply a cache-hierarchy geometry to every sweep "
+                        "point (same grammar as 'run --geometry')")
     p.add_argument("--out", metavar="FILE",
                    help="write the sweep (and farm stats) as JSON")
     add_farm_args(p)

@@ -47,6 +47,7 @@ from repro.conformance.coverage import ArcCoverage
 from repro.core.model import ConsistencyModel
 from repro.core.page_state import PhysPageState
 from repro.core.states import LineState, MemoryOp
+from repro.core.variants import model_factory_for_geometry
 from repro.errors import ConformanceError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -142,12 +143,21 @@ class ConformanceMonitor:
             False; the composite wraps DMA once and broadcasts.
         coverage: a shared :class:`ArcCoverage` to record into (per-CPU
             monitors share one); None builds a private instance.
+        model_factory: ``factory(num_cache_pages) -> model`` building the
+            per-frame shadow model.  None derives the factory from the
+            wrapped cache's geometry
+            (:func:`repro.core.variants.model_factory_for_geometry`), so
+            each hierarchy configuration is checked against *its* derived
+            Table 2 — the canonical model for any write-back virtually
+            indexed cache (whatever its associativity or lower levels),
+            the write-through and physically-indexed derivations for
+            those variants.
     """
 
     def __init__(self, kernel: "Kernel", record_only: bool = False,
                  max_events: int | None = 4096, *,
                  cache=None, cpu: int | None = None, wrap_dma: bool = True,
-                 coverage: ArcCoverage | None = None):
+                 coverage: ArcCoverage | None = None, model_factory=None):
         self.kernel = kernel
         self.machine = kernel.machine
         self.cache = cache if cache is not None else self.machine.dcache
@@ -157,6 +167,8 @@ class ConformanceMonitor:
         self.words_per_page = self.machine.memory.words_per_page
         self.ncp = self.cache.geo.num_cache_pages
         self.record_only = record_only
+        self.model_factory = (model_factory if model_factory is not None
+                              else model_factory_for_geometry(self.cache.geo))
         self.models: dict[int, ConsistencyModel] = {}
         self.coverage = coverage if coverage is not None else ArcCoverage()
         self.events: deque[ObservedEvent] = deque(maxlen=max_events)
@@ -278,7 +290,7 @@ class ConformanceMonitor:
     def model_of(self, frame: int) -> ConsistencyModel:
         model = self.models.get(frame)
         if model is None:
-            model = ConsistencyModel(self.ncp)
+            model = self.model_factory(self.ncp)
             self.models[frame] = model
         return model
 

@@ -159,7 +159,8 @@ class _ActionCollector:
 def check_all_sequences(num_cache_pages: int = 3, depth: int = 6,
                         stop_at_first: bool = True,
                         dedup: bool = True,
-                        prefix: tuple[int, ...] = ()) -> CheckReport:
+                        prefix: tuple[int, ...] = (),
+                        model_factory=ConsistencyModel) -> CheckReport:
     """Cover every event sequence up to ``depth`` and check the three
     judgments at every step.  Returns a report; ``ok`` means no sequence
     violated anything.  ``dedup=False`` disables the state deduplication
@@ -170,6 +171,15 @@ def check_all_sequences(num_cache_pages: int = 3, depth: int = 6,
     are applied — and judged — first, then every suffix of the remaining
     depth is covered.  ``depth`` stays the *total* sequence depth, so the
     reports of a full shard space merge into exactly the unsharded run.
+
+    ``model_factory`` selects which derived Table 2 the Section 4 engine
+    is checked against — ``factory(num_cache_pages) -> model``, e.g. a
+    :mod:`repro.core.variants` class.  Soundness: the engine performs the
+    canonical actions, every variant demands a subset of them, and the
+    variant's own state invariants are validated at each step.  (The
+    physically indexed variant must run at ``num_cache_pages=1``: its
+    hardware maps each frame to a single cache page, which the
+    multi-target event alphabet would otherwise contradict.)
     """
     alphabet = event_alphabet(num_cache_pages)
     if len(prefix) > depth:
@@ -179,7 +189,7 @@ def check_all_sequences(num_cache_pages: int = 3, depth: int = 6,
     sequences = 0
     steps = 0
 
-    model = ConsistencyModel(num_cache_pages)
+    model = model_factory(num_cache_pages)
     state = PhysPageState(0, num_cache_pages)
     collector = _ActionCollector()
     engine = CacheControl(collector.flush, collector.purge,

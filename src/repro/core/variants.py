@@ -111,6 +111,44 @@ class PhysicallyIndexedModel:
         return []
 
 
+class PhysicallyIndexedPageModel(ConsistencyModel):
+    """The physically indexed variant in monitor-drivable, per-frame form.
+
+    :class:`PhysicallyIndexedModel` states the Section 3.3 derivation at
+    its purest — one state, target column only.  The lockstep monitor,
+    however, shadows a physical frame with one state per *cache page*, so
+    this class presents the same derivation on that interface: every
+    column evolves by the **target** table alone.  Physical indexing
+    means a frame occupies exactly one cache page (all aliases naturally
+    align), so the "others" column of Table 2 is vacuous — the unused
+    columns simply stay Empty forever, and DMA (which addresses the frame
+    wherever it is cached) applies the target table to each column.
+    """
+
+    def __init__(self, num_cache_pages: int, write_through: bool = False):
+        super().__init__(num_cache_pages)
+        self.write_through = write_through
+
+    def apply(self, op, target_cache_page=None):
+        table = (WRITE_THROUGH_TARGET if self.write_through
+                 else TARGET_TRANSITIONS)
+        if self.write_through and LineState.DIRTY in self.states:
+            raise ReproError("write-through model cannot hold a Dirty line")
+        if op.is_cpu or op.is_cache_op:
+            if target_cache_page is None:
+                raise ReproError(f"{op} requires a target cache page")
+            columns = [target_cache_page]
+        else:
+            columns = range(self.num_cache_pages)
+        actions: list[RequiredAction] = []
+        for c in columns:
+            action, nxt = table[(op, self.states[c])]
+            if action != Action.NONE:
+                actions.append(RequiredAction(action, c))
+            self.states[c] = nxt
+        return actions
+
+
 class DmaThroughCacheModel(ConsistencyModel):
     """The model for hardware where DMA accesses go through the cache:
     CPU-read/DMA-read fold into *read*, CPU-write/DMA-write into *write*,
@@ -129,6 +167,52 @@ class DmaThroughCacheModel(ConsistencyModel):
                 "DMA through the cache addresses a virtual window; "
                 "a target cache page is always required")
         return super().apply(op, target_cache_page)
+
+
+def model_factory_for_geometry(geometry) -> "type | callable":
+    """The derived Table 2 a cache of this geometry must be shadowed with.
+
+    Returns a callable ``factory(num_cache_pages) -> model`` — the hook
+    the lockstep monitor and exhaustive checker use to verify every
+    hierarchy configuration against its *derived* table:
+
+    * write-through → :class:`WriteThroughModel` (Dirty collapsed,
+      no Flush);
+    * physically indexed → :class:`PhysicallyIndexedPageModel`
+      (target column only; composes with write-through);
+    * everything else — any associativity, victim cache, or L2 —
+      → the canonical :class:`ConsistencyModel`, *unchanged*: that is
+      Section 3.3's claim (:func:`set_associative_note`,
+      :func:`multiprocessor_note`), and the lower hierarchy levels hold
+      only memory-equal copies so they add no consistency state.
+    """
+    return model_factory_by_name(model_name_for_geometry(geometry))
+
+
+def model_name_for_geometry(geometry) -> str:
+    """The farm-spec name of the derived table for this geometry (the
+    JSON-scalar form of :func:`model_factory_for_geometry`)."""
+    if geometry.physically_indexed:
+        return "pi+wt" if geometry.write_through else "pi"
+    return "wt" if geometry.write_through else "canonical"
+
+
+_MODEL_FACTORIES = {
+    "canonical": ConsistencyModel,
+    "wt": WriteThroughModel,
+    "pi": lambda ncp: PhysicallyIndexedPageModel(ncp),
+    "pi+wt": lambda ncp: PhysicallyIndexedPageModel(ncp, write_through=True),
+}
+
+
+def model_factory_by_name(name: str):
+    """Resolve a derived-table name (as carried in a farm job spec) to a
+    ``factory(num_cache_pages) -> model`` callable."""
+    try:
+        return _MODEL_FACTORIES[name]
+    except KeyError:
+        raise ReproError(f"unknown consistency-model variant {name!r}; "
+                         f"expected one of {sorted(_MODEL_FACTORIES)}")
 
 
 def set_associative_note() -> str:

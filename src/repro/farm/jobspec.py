@@ -72,13 +72,16 @@ class JobSpec:
                  phys_pages: int | None = None,
                  buffer_cache_pages: int | None = None,
                  inject: str | None = None, seed: int | None = None,
-                 conform: bool = False) -> "JobSpec":
+                 conform: bool = False,
+                 geometry: str | None = None) -> "JobSpec":
+        # geometry is an apply_geometry() spec string ("2way+victim8+l2");
+        # None drops out so pre-hierarchy cache keys are unchanged.
         return cls.make("workload", workload=workload, policy=policy,
                         scale=scale, dcache_kib=dcache_kib,
                         phys_pages=phys_pages,
                         buffer_cache_pages=buffer_cache_pages,
                         inject=inject, seed=seed,
-                        conform=conform or None)
+                        conform=conform or None, geometry=geometry)
 
     @classmethod
     def replay(cls, trace_path: str, exact: bool = False) -> "JobSpec":
@@ -118,9 +121,15 @@ class JobSpec:
 
     @classmethod
     def exhaustive(cls, num_cache_pages: int, depth: int,
-                   prefix: tuple[int, ...] = ()) -> "JobSpec":
+                   prefix: tuple[int, ...] = (),
+                   model: str | None = None) -> "JobSpec":
+        # model names a derived Table 2 variant (see
+        # repro.core.variants.model_factory_by_name); None — the
+        # canonical model — drops out so existing cache keys hold.
         return cls.make("exhaustive", num_cache_pages=num_cache_pages,
-                        depth=depth, prefix=tuple(prefix))
+                        depth=depth, prefix=tuple(prefix),
+                        model=None if model in (None, "canonical")
+                        else model)
 
     @classmethod
     def selftest(cls, mode: str = "ok", **params) -> "JobSpec":
@@ -170,7 +179,7 @@ class JobSpec:
         parts = [f"{k}={v}" for k, v in self.params
                  if k in ("workload", "policy", "seed", "preset",
                           "dcache_kib", "prefix", "mode", "n_cpus",
-                          "aligned")]
+                          "aligned", "geometry", "model")]
         return f"{self.kind}({', '.join(parts)})"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -12,9 +12,10 @@ Kinds:
 ``workload``
     One measured workload execution (the primitive behind the tables and
     sweeps): workload name, policy name, scale, optional machine
-    overrides (``dcache_kib``, ``phys_pages``, ``buffer_cache_pages``),
-    optional fault plan (``inject`` + ``seed``), optional lockstep
-    shadowing (``conform``).  Payload: the :class:`RunMetrics` dict,
+    overrides (``dcache_kib``, ``phys_pages``, ``buffer_cache_pages``,
+    ``geometry`` — an :func:`~repro.hw.params.apply_geometry` spec such
+    as ``"2way+victim8+l2"``), optional fault plan (``inject`` +
+    ``seed``), optional lockstep shadowing (``conform``).  Payload: the :class:`RunMetrics` dict,
     plus injection and conformance summaries when armed; an injected
     run that fail-stops records the detection as a ``failstop`` payload
     (a deterministic result of the spec) rather than failing the job.
@@ -37,7 +38,8 @@ Kinds:
     One conformance-explorer shard (seed, sequences, cache_pages);
     payload is the :class:`ExplorationReport` dict, coverage included.
 ``exhaustive``
-    One prefix shard of the bounded exhaustive checker; payload is the
+    One prefix shard of the bounded exhaustive checker (optionally
+    against a named derived-table variant, ``model``); payload is the
     :class:`CheckReport` dict.
 ``selftest``
     A test-only runner exercising the executor's failure machinery:
@@ -92,13 +94,19 @@ def _run_workload_job(spec: JobSpec) -> dict:
         config = MachineConfig(phys_pages=phys_pages)
     else:
         config = evaluation_machine()
+    geometry = spec.get("geometry")
+    if geometry is not None:
+        from repro.hw.params import apply_geometry
+        config = apply_geometry(config, geometry)
     buffer_cache_pages = spec.get("buffer_cache_pages", 48)
     workload = make_workload(spec["workload"], spec.get("scale", 1.0))
 
     inject = spec.get("inject")
     conform = bool(spec.get("conform", False))
     kernel = injector = monitor = None
-    if inject or conform:
+    # A hierarchy geometry needs the kernel in hand: the victim/L2
+    # counters live on the machine, not in RunMetrics.
+    if inject or conform or config.has_hierarchy:
         from repro.kernel.kernel import Kernel
         kernel = Kernel(policy=policy, config=config,
                         buffer_cache_pages=buffer_cache_pages)
@@ -130,6 +138,14 @@ def _run_workload_job(spec: JobSpec) -> dict:
     if failstop is not None:
         return {"failstop": failstop, "injections": len(injector.audit)}
     payload: dict = {"metrics": metrics.to_dict()}
+    if kernel is not None and kernel.machine.hierarchy is not None:
+        counters = kernel.machine.counters
+        payload["hierarchy"] = {
+            "victim_hits": counters.victim_hits,
+            "victim_captures": counters.victim_captures,
+            "l2_hits": counters.l2_hits,
+            "l2_fills": counters.l2_fills,
+        }
     if injector is not None:
         payload["injections"] = len(injector.audit)
     if monitor is not None:
@@ -208,10 +224,13 @@ def _run_explore_job(spec: JobSpec) -> dict:
 @runner("exhaustive")
 def _run_exhaustive_job(spec: JobSpec) -> dict:
     from repro.core.exhaustive import check_all_sequences
+    from repro.core.variants import model_factory_by_name
 
     report = check_all_sequences(
         num_cache_pages=spec["num_cache_pages"], depth=spec["depth"],
-        prefix=tuple(spec.get("prefix", ())))
+        prefix=tuple(spec.get("prefix", ())),
+        model_factory=model_factory_by_name(
+            spec.get("model", "canonical")))
     return {"report": report.to_dict()}
 
 

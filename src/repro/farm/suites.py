@@ -54,14 +54,16 @@ def farm_chaos_suite(seeds, preset: str, steps: int,
 
 
 def farm_sweep_points(workload_name: str, policy_name: str,
-                      sizes_kib, scale: float, executor: Executor) -> list:
+                      sizes_kib, scale: float, executor: Executor,
+                      geometry: str | None = None) -> list:
     """One workload/policy across data-cache sizes, as parallel jobs;
     returns SweepPoints identical to the serial sweep's."""
     from repro.analysis.metrics import RunMetrics
     from repro.analysis.sweep import SweepPoint
 
     specs = [JobSpec.workload(workload=workload_name, policy=policy_name,
-                              scale=scale, dcache_kib=kib)
+                              scale=scale, dcache_kib=kib,
+                              geometry=geometry)
              for kib in sizes_kib]
     return [SweepPoint(kib, RunMetrics.from_dict(payload["metrics"]))
             for kib, payload in zip(sizes_kib,
@@ -69,7 +71,8 @@ def farm_sweep_points(workload_name: str, policy_name: str,
 
 
 def farm_sweep_grid(workload_name: str, policy_names, sizes_kib,
-                    scale: float, executor: Executor) -> dict:
+                    scale: float, executor: Executor,
+                    geometry: str | None = None) -> dict:
     """Every (policy, size) point of a sweep as ONE spec batch, so the
     whole grid shares the worker pool; returns ``{policy: [SweepPoint]}``
     exactly as :func:`repro.analysis.sweep.run_sweep` does."""
@@ -78,7 +81,8 @@ def farm_sweep_grid(workload_name: str, policy_names, sizes_kib,
 
     grid = [(name, kib) for name in policy_names for kib in sizes_kib]
     specs = [JobSpec.workload(workload=workload_name, policy=name,
-                              scale=scale, dcache_kib=kib)
+                              scale=scale, dcache_kib=kib,
+                              geometry=geometry)
              for name, kib in grid]
     points: dict = {name: [] for name in policy_names}
     for (name, kib), payload in zip(grid, _payloads(executor, specs)):

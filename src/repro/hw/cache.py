@@ -53,7 +53,8 @@ class Cache:
 
     def __init__(self, geometry: CacheGeometry, memory: PhysicalMemory,
                  cost: CostModel, clock: Clock, counters: Counters,
-                 name: str = "dcache", is_icache: bool = False):
+                 name: str = "dcache", is_icache: bool = False,
+                 hierarchy=None):
         if geometry.page_size != memory.page_size:
             raise ConfigurationError("cache and memory disagree on page size")
         self.geo = geometry
@@ -63,6 +64,12 @@ class Cache:
         self.counters = counters
         self.name = name
         self.is_icache = is_icache
+        # The shared lower hierarchy (victim cache / L2), or None for the
+        # seed machine's L1-over-memory arrangement.  With a hierarchy,
+        # fills go through it (it charges the clock for whichever level
+        # supplied the line) and evicted lines may be captured below; see
+        # :mod:`repro.hw.hierarchy` for the clean-copy/epoch discipline.
+        self.hierarchy = hierarchy
         # Observability: the machine attaches its EventBus here; standalone
         # caches (unit tests) run without one.  Only the management
         # operations publish — never the word/run/page access paths.
@@ -75,6 +82,12 @@ class Cache:
                               dtype=np.uint64)
         self._lru = np.zeros((ways, sets), dtype=np.int64)
         self._tick = 0
+        # Epoch stamp of each line's fill (hierarchy mode only): a clean
+        # line may be captured below on eviction iff its stamp still
+        # matches its memory line's epoch, i.e. memory has not been
+        # rewritten since the fill.
+        self._fill_epoch = (np.zeros((ways, sets), dtype=np.int64)
+                            if hierarchy is not None else None)
         # pa_page_base -> read-only line-tag array (see _page_tags)
         self._page_tags_cache: dict[int, np.ndarray] = {}
 
@@ -98,6 +111,20 @@ class Cache:
         return None
 
     def _victim_way(self, set_idx: int) -> int:
+        """The way a miss in ``set_idx`` will replace.
+
+        Deterministic by construction, in two stages:
+
+        1. the *lowest-numbered invalid* way, if any (ways fill in index
+           order from a purged cache);
+        2. otherwise the way with the *smallest LRU stamp* — true LRU,
+           since :meth:`_touch` assigns stamps from a strictly increasing
+           tick, so stamps within a set are unique and ``argmin`` never
+           needs a tie-break.
+
+        Pinned by the eviction-order regression tests at 2 and 4 ways
+        (``tests/hw/test_cache.py``).
+        """
         tags = self._tags[:, set_idx]
         empties = np.flatnonzero(tags == _INVALID)
         if len(empties):
@@ -114,19 +141,39 @@ class Cache:
                                self._data[way, set_idx])
         self.counters.write_backs += 1
         self.clock.advance(self.cost.write_back)
+        if self.hierarchy is not None:
+            # Memory just changed: stale lower copies must go.  This line
+            # now equals memory again, so re-stamp it capture-current.
+            self.hierarchy.note_memory_write(tag)
+            self._fill_epoch[way, set_idx] = self.hierarchy.epoch_of(tag)
 
     def _evict(self, way: int, set_idx: int) -> None:
-        if self._dirty[way, set_idx]:
+        dirty = bool(self._dirty[way, set_idx])
+        if dirty:
             self._write_back_line(way, set_idx)
+        if self.hierarchy is not None:
+            tag = int(self._tags[way, set_idx])
+            # Capture the victim below iff its data equals memory: always
+            # true after a dirty write-back (which re-stamps), and for a
+            # clean line iff memory has not moved since its fill.
+            if tag != _INVALID and self._fill_epoch[way, set_idx] \
+                    == self.hierarchy.epoch_of(tag):
+                self.hierarchy.capture(tag, self._data[way, set_idx])
         self._tags[way, set_idx] = _INVALID
         self._dirty[way, set_idx] = False
 
     def _fill(self, way: int, set_idx: int, tag: int) -> None:
         self._tags[way, set_idx] = tag
-        self._data[way, set_idx] = self.memory.read_line(
-            tag * self.geo.line_size, self.geo.words_per_line)
+        if self.hierarchy is None:
+            self._data[way, set_idx] = self.memory.read_line(
+                tag * self.geo.line_size, self.geo.words_per_line)
+            self.clock.advance(self.cost.line_fill)
+        else:
+            # The hierarchy charges the clock itself (victim/L2/memory
+            # fills cost differently) and the fill is epoch-stamped.
+            self._data[way, set_idx] = self.hierarchy.fetch_line(tag)
+            self._fill_epoch[way, set_idx] = self.hierarchy.epoch_of(tag)
         self._dirty[way, set_idx] = False
-        self.clock.advance(self.cost.line_fill)
 
     # ---- word access -------------------------------------------------------
 
@@ -201,6 +248,10 @@ class Cache:
             if geo.write_through:
                 self.memory.write_word(paddr, value)
                 self.clock.cycles += self.cost.write_back
+                if self.hierarchy is not None:
+                    self.hierarchy.note_memory_write(tag)
+                    self._fill_epoch[0, set_idx] = \
+                        self.hierarchy.epoch_of(tag)
             else:
                 self._dirty[0, set_idx] = True
             return
@@ -222,6 +273,9 @@ class Cache:
         if geo.write_through:
             self.memory.write_word(paddr, value)
             self.clock.advance(self.cost.write_back)
+            if self.hierarchy is not None:
+                self.hierarchy.note_memory_write(tag)
+                self._fill_epoch[way, set_idx] = self.hierarchy.epoch_of(tag)
         else:
             self._dirty[way, set_idx] = True
 
@@ -282,21 +336,29 @@ class Cache:
             vaddr, paddr, n_words)
         tags = self._tags[0, sets]
         misses = tags != want
-        victims = misses & (tags != _INVALID) & self._dirty[0, sets]
-        self._write_back_victims(sets, victims)
         n_miss = int(misses.sum())
-        if n_miss:
-            mem_lines = self.memory.read_line(
-                int(want[0]) * self.geo.line_size,
-                n_lines * self.geo.words_per_line,
-            ).reshape(n_lines, self.geo.words_per_line)
-            self._data[0, sets][misses] = mem_lines[misses]
-            self._tags[0, sets] = want
-            self._dirty[0, sets][misses] = False
+        if self.hierarchy is not None:
+            # Per-line servicing in set order (= the word loop's order):
+            # fills may come from the victim cache or L2 at differing
+            # cost, and evictions may capture below, so the batched
+            # evict-all-then-fill-all shape would not be equivalent.
+            self._service_lines(sets, want, misses)
+            self.clock.advance((n_words - n_miss) * self.cost.cache_hit)
+        else:
+            victims = misses & (tags != _INVALID) & self._dirty[0, sets]
+            self._write_back_victims(sets, victims)
+            if n_miss:
+                mem_lines = self.memory.read_line(
+                    int(want[0]) * self.geo.line_size,
+                    n_lines * self.geo.words_per_line,
+                ).reshape(n_lines, self.geo.words_per_line)
+                self._data[0, sets][misses] = mem_lines[misses]
+                self._tags[0, sets] = want
+                self._dirty[0, sets][misses] = False
+            self.clock.advance((n_words - n_miss) * self.cost.cache_hit
+                               + n_miss * self.cost.line_fill)
         self.counters.read_hits += n_words - n_miss
         self.counters.read_misses += n_miss
-        self.clock.advance((n_words - n_miss) * self.cost.cache_hit
-                           + n_miss * self.cost.line_fill)
         self._lru[0, sets] = self._tick + np.cumsum(counts)
         self._tick += n_words
         return self._data[0, sets].reshape(-1)[
@@ -320,26 +382,36 @@ class Cache:
         values = np.asarray(values, dtype=np.uint64)
         tags = self._tags[0, sets]
         misses = tags != want
-        victims = misses & (tags != _INVALID) & self._dirty[0, sets]
-        self._write_back_victims(sets, victims)
         n_miss = int(misses.sum())
-        if n_miss:
-            mem_lines = self.memory.read_line(
-                int(want[0]) * self.geo.line_size,
-                n_lines * self.geo.words_per_line,
-            ).reshape(n_lines, self.geo.words_per_line)
-            self._data[0, sets][misses] = mem_lines[misses]
-            self._tags[0, sets] = want
-            self._dirty[0, sets][misses] = False
+        if self.hierarchy is not None:
+            self._service_lines(sets, want, misses)
+            cycles = (n_words - n_miss) * self.cost.cache_hit
+        else:
+            victims = misses & (tags != _INVALID) & self._dirty[0, sets]
+            self._write_back_victims(sets, victims)
+            if n_miss:
+                mem_lines = self.memory.read_line(
+                    int(want[0]) * self.geo.line_size,
+                    n_lines * self.geo.words_per_line,
+                ).reshape(n_lines, self.geo.words_per_line)
+                self._data[0, sets][misses] = mem_lines[misses]
+                self._tags[0, sets] = want
+                self._dirty[0, sets][misses] = False
+            cycles = ((n_words - n_miss) * self.cost.cache_hit
+                      + n_miss * self.cost.line_fill)
         self._data[0, sets].reshape(-1)[
             first_word:first_word + n_words] = values
         self.counters.write_hits += n_words - n_miss
         self.counters.write_misses += n_miss
-        cycles = ((n_words - n_miss) * self.cost.cache_hit
-                  + n_miss * self.cost.line_fill)
         if self.geo.write_through:
             self.memory.write_words(paddr, values)
             cycles += n_words * self.cost.write_back
+            if self.hierarchy is not None:
+                # Every run line was filled whole before the store, so
+                # after the memory write each equals memory: re-stamp.
+                self.hierarchy.note_memory_write_range(int(want[0]),
+                                                       int(want[-1]))
+                self._fill_epoch[0, sets] = self.hierarchy.epochs_of(want)
         else:
             self._dirty[0, sets] = True
         self.clock.advance(cycles)
@@ -407,6 +479,9 @@ class Cache:
             self.memory.write_lines(want[lines], self._data[:, sets][ways, lines],
                                     self.geo.words_per_line)
             self.counters.write_backs += n_dirty
+            if self.hierarchy is not None:
+                for tag in want[lines]:
+                    self.hierarchy.note_memory_write(int(tag))
         self._tags[:, sets][match] = _INVALID
         self._dirty[:, sets][match] = False
         lpp = self.geo.lines_per_page
@@ -468,22 +543,28 @@ class Cache:
         tags = self._tags[0, sets]
         match = tags == want
         misses = ~match
-        # evict dirty victims occupying the sets we are about to fill
-        victims = misses & (tags != _INVALID) & self._dirty[0, sets]
-        self._write_back_victims(sets, victims)
-        # fill the missing lines from memory
-        mem_page = self.memory.read_page(pa_page_base // self.geo.page_size)
-        lines = mem_page.reshape(self.geo.lines_per_page,
-                                 self.geo.words_per_line)
-        self._data[0, sets][misses] = lines[misses]
-        self._tags[0, sets] = want
-        self._dirty[0, sets][misses] = False
         n_miss = int(misses.sum())
         n_hit = self.geo.lines_per_page - n_miss
+        if self.hierarchy is not None:
+            self._service_lines(sets, want, misses)
+            self.clock.advance(n_hit * self.geo.words_per_line
+                               * self.cost.cache_hit)
+        else:
+            # evict dirty victims occupying the sets we are about to fill
+            victims = misses & (tags != _INVALID) & self._dirty[0, sets]
+            self._write_back_victims(sets, victims)
+            # fill the missing lines from memory
+            mem_page = self.memory.read_page(pa_page_base // self.geo.page_size)
+            lines = mem_page.reshape(self.geo.lines_per_page,
+                                     self.geo.words_per_line)
+            self._data[0, sets][misses] = lines[misses]
+            self._tags[0, sets] = want
+            self._dirty[0, sets][misses] = False
+            self.clock.advance(n_hit * self.geo.words_per_line
+                               * self.cost.cache_hit
+                               + n_miss * self.cost.line_fill)
         self.counters.read_hits += n_hit
         self.counters.read_misses += n_miss
-        self.clock.advance(n_hit * self.geo.words_per_line * self.cost.cache_hit
-                           + n_miss * self.cost.line_fill)
         return self._data[0, sets].reshape(-1).copy()
 
     def write_page(self, va_page_base: int, pa_page_base: int,
@@ -505,8 +586,16 @@ class Cache:
         sets = self._page_sets(cp)
         want = self._page_tags(pa_page_base)
         tags = self._tags[0, sets]
-        victims = (tags != want) & (tags != _INVALID) & self._dirty[0, sets]
-        self._write_back_victims(sets, victims)
+        if self.hierarchy is not None:
+            # Evict (and possibly capture below) every non-matching valid
+            # line; matching lines are overwritten in place, needing no
+            # fill because the whole line is replaced.
+            stale = (tags != want) & (tags != _INVALID)
+            for i in np.flatnonzero(stale):
+                self._evict(0, sets.start + int(i))
+        else:
+            victims = (tags != want) & (tags != _INVALID) & self._dirty[0, sets]
+            self._write_back_victims(sets, victims)
         self._tags[0, sets] = want
         self._data[0, sets] = np.asarray(values, dtype=np.uint64).reshape(
             self.geo.lines_per_page, self.geo.words_per_line)
@@ -515,6 +604,10 @@ class Cache:
             self._dirty[0, sets] = False
             self.memory.write_page(pa_page_base // self.geo.page_size,
                                    np.asarray(values, dtype=np.uint64))
+            if self.hierarchy is not None:
+                self.hierarchy.invalidate_page(
+                    pa_page_base // self.geo.page_size)
+                self._fill_epoch[0, sets] = self.hierarchy.epochs_of(want)
             self.clock.advance(n_words * (self.cost.cache_hit
                                           + self.cost.write_back))
         else:
@@ -525,6 +618,23 @@ class Cache:
         """Zero-fill one page through the cache (Section 4.1 page prep)."""
         self.write_page(va_page_base, pa_page_base,
                         np.zeros(self.geo.words_per_page, dtype=np.uint64))
+
+    def _service_lines(self, sets: slice, want: np.ndarray,
+                       misses: np.ndarray) -> None:
+        """Evict and fill the missing lines of a run/page one at a time,
+        in set order — the order the word loop would service them.
+
+        Used only in hierarchy mode: fills are charged per source level
+        (victim hit / L2 hit / memory) inside :meth:`_fill`, and an
+        eviction at one set may capture a line that a later set's fill
+        then takes from the victim cache, so the seed's batched
+        evict-all-then-fill-all shape would not be equivalent here.
+        """
+        s0 = sets.start
+        for i in np.flatnonzero(misses):
+            s = s0 + int(i)
+            self._evict(0, s)
+            self._fill(0, s, int(want[i]))
 
     def _write_back_victims(self, sets: slice, victims: np.ndarray) -> None:
         n = int(victims.sum())
@@ -591,6 +701,11 @@ class Cache:
         if self._dirty[way, set_idx]:
             if write_back:
                 self._write_back_line(way, set_idx)
+            elif self._fill_epoch is not None:
+                # Injected lost write-back: the line is about to be marked
+                # clean while disagreeing with memory.  Make sure it can
+                # never be captured into the lower hierarchy.
+                self._fill_epoch[way, set_idx] = -1
             self._dirty[way, set_idx] = False
         if invalidate:
             self._tags[way, set_idx] = _INVALID
@@ -632,7 +747,7 @@ class Cache:
         write-back does.
         """
         geo = self.geo
-        if geo.associativity > 1:
+        if geo.associativity > 1 or self.hierarchy is not None:
             found = dirty = 0
             first_tag = paddr // geo.line_size
             last_off = (n_words - 1) * WORD_SIZE

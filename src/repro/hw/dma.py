@@ -33,12 +33,19 @@ class DmaEngine:
     """Moves whole pages between devices and physical memory."""
 
     def __init__(self, memory: PhysicalMemory, config: MachineConfig,
-                 clock: Clock, counters: Counters, oracle=None):
+                 clock: Clock, counters: Counters, oracle=None,
+                 hierarchy=None):
         self.memory = memory
         self.cost = config.cost
         self.clock = clock
         self.counters = counters
         self.oracle = oracle  # ShadowMemory or None
+        # The shared lower cache hierarchy (victim/L2), or None.  DMA does
+        # not snoop the L1s (the paper's premise), but the lower levels
+        # hold only memory-equal copies, so a DMA-write must drop them —
+        # that is physical bookkeeping in the memory system, not the
+        # software alias management the paper is about.
+        self.hierarchy = hierarchy
         # Optional fault injector (dma.transfer.*); None in normal runs.
         self.injector = None
         # Observability: the machine attaches its EventBus here.
@@ -91,6 +98,8 @@ class DmaEngine:
             # bug) would not be misreported as a consistency violation.
             pa_base = ppage * self.memory.page_size
             self.memory.write_words(pa_base, delivered)
+            if self.hierarchy is not None:
+                self.hierarchy.invalidate_page(ppage)
             if self.oracle is not None:
                 self.oracle.note_run_write(pa_base, delivered)
             self.counters.dma_writes += 1
@@ -106,6 +115,8 @@ class DmaEngine:
             error.record = record
             raise error
         self.memory.write_page(ppage, values)
+        if self.hierarchy is not None:
+            self.hierarchy.invalidate_page(ppage)
         self.counters.dma_writes += 1
         self._charge(len(values))
         if self.oracle is not None:

@@ -31,6 +31,7 @@ from repro.core.oracle import ShadowMemory
 from repro.errors import FaultLoopError, ProtectionError
 from repro.hw.cache import Cache
 from repro.hw.dma import DmaEngine
+from repro.hw.hierarchy import CacheHierarchy
 from repro.hw.params import WORD_SIZE, MachineConfig
 from repro.hw.physmem import PhysicalMemory
 from repro.hw.smp import CoherentCluster, SmpDataCache
@@ -82,10 +83,20 @@ class Machine:
         self.memory = PhysicalMemory(config.phys_pages, config.page_size)
         self.oracle = (ShadowMemory(config.phys_pages, config.page_size)
                        if config.check_consistency else None)
+        # The shared lower hierarchy (victim cache / unified L2), or None
+        # for the seed single-level machine.  It is physically addressed,
+        # so one instance safely backs all first-level caches.
+        self.hierarchy = (CacheHierarchy(self.memory, config.cost,
+                                         self.clock, self.counters,
+                                         config.dcache.line_size,
+                                         victim_lines=config.victim_lines,
+                                         l2=config.l2)
+                          if config.has_hierarchy else None)
         if config.n_cpus > 1:
             self.cluster = CoherentCluster(config.n_cpus, config.dcache,
                                            self.memory, config.cost,
-                                           self.clock, self.counters)
+                                           self.clock, self.counters,
+                                           hierarchy=self.hierarchy)
             self.dcache = SmpDataCache(self.cluster)
             # asid -> CPU; unbound address spaces run on CPU 0 (where
             # the kernel's own asid-0 accesses also land).
@@ -94,14 +105,15 @@ class Machine:
             self.cluster = None
             self.cpu_bindings = None
             self.dcache = Cache(config.dcache, self.memory, config.cost,
-                                self.clock, self.counters, name="dcache")
+                                self.clock, self.counters, name="dcache",
+                                hierarchy=self.hierarchy)
         self.icache = Cache(config.icache, self.memory, config.cost,
                             self.clock, self.counters, name="icache",
-                            is_icache=True)
+                            is_icache=True, hierarchy=self.hierarchy)
         self.tlb = Tlb(config.tlb_entries, config.cost, self.clock,
                        self.counters)
         self.dma = DmaEngine(self.memory, config, self.clock, self.counters,
-                             oracle=self.oracle)
+                             oracle=self.oracle, hierarchy=self.hierarchy)
         for component in (self.dcache, self.icache, self.tlb, self.dma):
             component.bus = self.bus
         # Installed by the OS layer.
@@ -198,6 +210,8 @@ class Machine:
             self.write_notifier(asid, vaddr // self.page_size)
         if uncached:
             self.memory.write_word(paddr, value)
+            if self.hierarchy is not None:
+                self.hierarchy.invalidate_span(paddr, 1)
             self.clock.advance(self.config.cost.uncached_word)
         else:
             self.dcache.write(vaddr, paddr, value)
@@ -272,6 +286,8 @@ class Machine:
             chunk = values[done:done + k]
             if uncached:
                 self.memory.write_words(paddr, chunk)
+                if self.hierarchy is not None:
+                    self.hierarchy.invalidate_span(paddr, k)
                 self.clock.advance(self.config.cost.uncached_word * k)
             else:
                 self.dcache.write_run(va, paddr, chunk)
@@ -303,6 +319,8 @@ class Machine:
         if uncached:
             self.memory.write_page(paddr // self.page_size,
                                    np.asarray(values, dtype=np.uint64))
+            if self.hierarchy is not None:
+                self.hierarchy.invalidate_page(paddr // self.page_size)
             self.clock.advance(self.config.cost.uncached_word
                                * self.memory.words_per_page)
         else:

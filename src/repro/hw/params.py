@@ -115,6 +115,41 @@ WORD_SIZE = 4  # bytes per word; the unit of CPU loads/stores in the simulator
 
 
 @dataclass(frozen=True)
+class L2Geometry:
+    """Shape of the optional unified, physically indexed second-level cache.
+
+    The L2 sits between the L1s and memory and is *physically* indexed and
+    tagged, so it is immune to the paper's virtual-alias problem by
+    construction — Section 3.3's "physically indexed" observation applied
+    one level down.  It holds only clean copies (the simulated L1 is the
+    point of coherence; dirty write-backs go straight to memory), so no
+    consistency state is needed for it: the derived Table 2 tables are
+    unchanged (see :func:`repro.core.variants.set_associative_note`).
+    """
+
+    size: int = 256 * 1024
+    line_size: int = 32
+    associativity: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("size", "line_size", "associativity"):
+            if not _is_pow2(getattr(self, name)):
+                raise ConfigurationError(f"L2 {name} must be a power of two, "
+                                         f"got {getattr(self, name)}")
+        if self.size % (self.line_size * self.associativity):
+            raise ConfigurationError(
+                "L2 size must divide evenly into ways of lines")
+
+    @cached_property
+    def num_lines(self) -> int:
+        return self.size // self.line_size
+
+    @cached_property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+
+@dataclass(frozen=True)
 class CostModel:
     """Cycle costs for memory-system events.
 
@@ -126,6 +161,12 @@ class CostModel:
     cache_hit: int = 1
     line_fill: int = 20                 # miss penalty: fetch a line from memory
     write_back: int = 20                # store a dirty victim line to memory
+
+    # Lower-level hierarchy fill sources (PR 8).  A miss that hits in the
+    # victim cache or the unified L2 is cheaper than a full line fill from
+    # memory; a miss that falls through both still costs ``line_fill``.
+    victim_hit: int = 4                 # L1 miss satisfied by the victim cache
+    l2_hit: int = 10                    # L1 miss satisfied by the unified L2
     tlb_hit: int = 0
     tlb_miss: int = 25                  # software TLB refill walk
 
@@ -176,6 +217,12 @@ class MachineConfig:
             of per-CPU data caches kept coherent by snooping (the
             instruction cache stays shared — it is never dirty, so it
             needs no coherence protocol).
+        victim_lines: number of entries in the small fully associative,
+            physically tagged victim cache between the L1s and memory.
+            0 (the default) means no victim cache — bit-identical to the
+            seed machine.
+        l2: geometry of the optional unified physically indexed L2, or
+            ``None`` (the default) for none.
     """
 
     dcache: CacheGeometry = field(default_factory=CacheGeometry)
@@ -186,6 +233,8 @@ class MachineConfig:
     cost: CostModel = field(default_factory=CostModel)
     check_consistency: bool = True
     n_cpus: int = 1
+    victim_lines: int = 0
+    l2: L2Geometry | None = None
 
     def __post_init__(self) -> None:
         if self.dcache.page_size != self.icache.page_size:
@@ -194,6 +243,21 @@ class MachineConfig:
             raise ConfigurationError("phys_pages must be positive")
         if self.n_cpus < 1:
             raise ConfigurationError("n_cpus must be at least 1")
+        if self.victim_lines < 0:
+            raise ConfigurationError("victim_lines must be non-negative")
+        if self.l2 is not None and self.l2.line_size != self.dcache.line_size:
+            raise ConfigurationError(
+                "the L2 must use the L1 line size (lines move between "
+                "levels whole)")
+        if self.has_hierarchy and self.icache.line_size != self.dcache.line_size:
+            raise ConfigurationError(
+                "a shared lower hierarchy (victim cache or L2) requires "
+                "I and D caches to agree on line size")
+
+    @property
+    def has_hierarchy(self) -> bool:
+        """True when a victim cache or an L2 sits below the L1s."""
+        return self.victim_lines > 0 or self.l2 is not None
 
     @property
     def page_size(self) -> int:
@@ -214,3 +278,75 @@ def small_machine(**overrides) -> MachineConfig:
     )
     params.update(overrides)
     return MachineConfig(**params)
+
+
+def _parse_size(text: str, what: str) -> int:
+    text = text.lower()
+    try:
+        if text.endswith("m"):
+            return int(text[:-1]) * 1024 * 1024
+        if text.endswith("k"):
+            return int(text[:-1]) * 1024
+        return int(text)
+    except ValueError:
+        raise ConfigurationError(f"bad {what} size {text!r}") from None
+
+
+def apply_geometry(config: MachineConfig, spec: str) -> MachineConfig:
+    """Apply a compact hierarchy spec to a machine configuration.
+
+    ``spec`` is a ``+``-separated list of tokens, each adjusting one axis
+    of the data-side hierarchy (the instruction cache is untouched):
+
+    * ``<N>way`` — make the data cache N-way set associative (LRU),
+      keeping its total size; ``1way`` is the seed direct-mapped cache.
+    * ``victim<N>`` — add an N-entry fully associative victim cache
+      between the L1s and memory (``victim0`` removes it).
+    * ``l2`` / ``l2:<SIZE>`` / ``l2:<SIZE>/<WAYS>`` — add a unified
+      physically indexed L2 (sizes accept ``k``/``m`` suffixes);
+      defaults are :class:`L2Geometry`'s.
+    * ``wt`` — make the data cache write-through (Section 3.3 variant).
+    * ``pi`` — make the data cache physically indexed (Section 3.3
+      variant).
+
+    Examples: ``2way``, ``4way+victim8``, ``2way+l2:256k/8``,
+    ``wt+victim4``, ``pi``.  Returns a new :class:`MachineConfig`; the
+    input is unchanged.
+    """
+    from dataclasses import replace
+
+    dcache = config.dcache
+    victim_lines = config.victim_lines
+    l2 = config.l2
+    for token in spec.split("+"):
+        token = token.strip().lower()
+        if not token:
+            continue
+        if token.endswith("way") and token[:-3].isdigit():
+            dcache = replace(dcache, associativity=int(token[:-3]))
+        elif token.startswith("victim") and token[6:].isdigit():
+            victim_lines = int(token[6:])
+        elif token == "l2" or token.startswith("l2:"):
+            size, ways = L2Geometry.size, L2Geometry.associativity
+            if token.startswith("l2:"):
+                body = token[3:]
+                if "/" in body:
+                    size_text, ways_text = body.split("/", 1)
+                    if not ways_text.isdigit():
+                        raise ConfigurationError(
+                            f"bad L2 way count in {token!r}")
+                    ways = int(ways_text)
+                else:
+                    size_text = body
+                size = _parse_size(size_text, "L2")
+            l2 = L2Geometry(size=size, line_size=dcache.line_size,
+                            associativity=ways)
+        elif token == "wt":
+            dcache = replace(dcache, write_through=True)
+        elif token == "pi":
+            dcache = replace(dcache, physically_indexed=True)
+        else:
+            raise ConfigurationError(
+                f"unknown geometry token {token!r} (expected <N>way, "
+                "victim<N>, l2[:SIZE[/WAYS]], wt, or pi)")
+    return replace(config, dcache=dcache, victim_lines=victim_lines, l2=l2)

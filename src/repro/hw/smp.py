@@ -47,7 +47,7 @@ class CoherentCluster:
 
     def __init__(self, n_cpus: int, geometry: CacheGeometry,
                  memory: PhysicalMemory, cost: CostModel, clock: Clock,
-                 counters: Counters):
+                 counters: Counters, hierarchy=None):
         if n_cpus < 1:
             raise ConfigurationError("a cluster needs at least one CPU")
         self.geometry = geometry
@@ -55,8 +55,12 @@ class CoherentCluster:
         self.cost = cost
         self.clock = clock
         self.counters = counters
+        # One shared lower hierarchy (victim/L2) below all CPUs: it is
+        # physically addressed and holds only memory-equal copies, so it
+        # needs no per-CPU instance and no snoop protocol of its own.
+        self.hierarchy = hierarchy
         self.caches = [Cache(geometry, memory, cost, clock, counters,
-                             name=f"cpu{i}.dcache")
+                             name=f"cpu{i}.dcache", hierarchy=hierarchy)
                        for i in range(n_cpus)]
         # Fault injection: None by default so the snoop hot path pays one
         # identity check (same contract as pmap/dma/disk/tlb).

@@ -129,6 +129,12 @@ class Counters:
     coherence_invalidations: int = 0  # remote copies invalidated by a store
     coherence_writebacks: int = 0     # dirty remote copies written back by a snoop
 
+    # lower cache hierarchy (zero without a victim cache / L2)
+    victim_hits: int = 0      # L1 miss satisfied by the victim cache
+    victim_captures: int = 0  # L1 victim lines captured by the victim cache
+    l2_hits: int = 0          # L1 miss satisfied by the unified L2
+    l2_fills: int = 0         # lines installed in the L2 from memory
+
     # OS-level events of interest to the evaluation
     d_to_i_copies: int = 0    # pages copied from data space into instruction space
     ipc_page_moves: int = 0
@@ -222,6 +228,10 @@ class Counters:
             "dma_writes": self.dma_writes,
             "coherence_invalidations": self.coherence_invalidations,
             "coherence_writebacks": self.coherence_writebacks,
+            "victim_hits": self.victim_hits,
+            "victim_captures": self.victim_captures,
+            "l2_hits": self.l2_hits,
+            "l2_fills": self.l2_fills,
             "d_to_i_copies": self.d_to_i_copies,
             "ipc_page_moves": self.ipc_page_moves,
             "pages_zero_filled": self.pages_zero_filled,

@@ -312,10 +312,19 @@ def compile_workload(workload, policy, config=None, buffer_cache_pages=48,
     replays below the level where kernels, injectors and monitors exist.
     """
     from repro.analysis.experiments import evaluation_machine
+    from repro.errors import ConfigurationError
     from repro.kernel.kernel import Kernel
 
     if config is None:
         config = evaluation_machine()
+    if config.has_hierarchy:
+        # Replay rebuilds bare L1s from the encoded geometries; a victim
+        # cache or L2 would change fill costs the artifact cannot carry.
+        # (Set-associative and write-through L1s are fine: the encoded
+        # geometry reconstructs them, via the exact interpreter tier.)
+        raise ConfigurationError(
+            "trace compilation does not support victim-cache or L2 "
+            "geometries; record on a bare L1 or run the live simulator")
     kernel = Kernel(policy=policy, config=config,
                     buffer_cache_pages=buffer_cache_pages)
     workload.setup(kernel)

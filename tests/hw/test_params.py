@@ -3,8 +3,8 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.hw.params import (CacheGeometry, CostModel, MachineConfig,
-                             small_machine)
+from repro.hw.params import (CacheGeometry, CostModel, L2Geometry,
+                             MachineConfig, apply_geometry, small_machine)
 
 
 class TestCacheGeometry:
@@ -89,3 +89,71 @@ class TestMachineConfig:
         assert config.phys_pages == 32
         assert config.dcache.num_cache_pages == 4
         assert config.icache.num_cache_pages == 2
+
+
+class TestL2Geometry:
+    def test_defaults(self):
+        geo = L2Geometry()
+        assert geo.size == 256 * 1024
+        assert geo.associativity == 4
+        assert geo.num_sets == geo.size // (geo.line_size
+                                            * geo.associativity)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            L2Geometry(size=100 * 1000)
+        with pytest.raises(ConfigurationError):
+            L2Geometry(associativity=3)
+
+    def test_machine_config_requires_matching_line_size(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(l2=L2Geometry(line_size=64))
+
+    def test_machine_config_rejects_negative_victim_lines(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(victim_lines=-1)
+
+    def test_has_hierarchy(self):
+        assert not MachineConfig().has_hierarchy
+        assert MachineConfig(victim_lines=4).has_hierarchy
+        assert MachineConfig(l2=L2Geometry()).has_hierarchy
+
+
+class TestApplyGeometry:
+    def test_tokens_compose(self):
+        config = apply_geometry(MachineConfig(), "2way+victim8+l2:64k/8")
+        assert config.dcache.associativity == 2
+        assert config.victim_lines == 8
+        assert config.l2.size == 64 * 1024
+        assert config.l2.associativity == 8
+        assert config.l2.line_size == config.dcache.line_size
+
+    def test_input_config_is_unchanged(self):
+        base = MachineConfig()
+        apply_geometry(base, "4way+victim4")
+        assert base.dcache.associativity == 1
+        assert base.victim_lines == 0
+
+    def test_policy_tokens(self):
+        config = apply_geometry(MachineConfig(), "wt+pi")
+        assert config.dcache.write_through
+        assert config.dcache.physically_indexed
+
+    def test_one_way_and_victim0_are_the_identity(self):
+        base = MachineConfig()
+        assert apply_geometry(base, "1way+victim0") == base
+
+    def test_l2_size_suffixes(self):
+        assert apply_geometry(MachineConfig(), "l2:1m").l2.size == 2**20
+        assert apply_geometry(MachineConfig(), "l2").l2 == L2Geometry()
+
+    def test_rejects_unknown_tokens(self):
+        for bad in ("3ways", "victimx", "l2:64k/x", "nope"):
+            with pytest.raises(ConfigurationError):
+                apply_geometry(MachineConfig(), bad)
+
+    def test_rejects_illegal_resulting_shape(self):
+        # 8 ways of the 16 KiB small-machine dcache would leave each way
+        # smaller than a page — the paper's first hardware requirement.
+        with pytest.raises(ConfigurationError):
+            apply_geometry(small_machine(), "8way")

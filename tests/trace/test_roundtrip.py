@@ -114,6 +114,31 @@ class TestRandomOpsWithFaults:
         assert_roundtrip(trace)
 
 
+class TestHierarchyGeometries:
+    """Non-direct-mapped L1s compile and replay bit-identically (the
+    batched tier's specialized kernels assume a direct-mapped write-back
+    cache, so these traces verify through the exact per-op tier); victim
+    and L2 geometries are rejected outright — the artifact cannot carry
+    lower-level fill costs."""
+
+    @pytest.mark.parametrize("geometry", ("2way", "4way", "wt", "2way+wt"))
+    def test_set_associative_and_wt_replay_bit_identical(self, geometry):
+        from repro.hw.params import apply_geometry
+        config = apply_geometry(evaluation_machine(), geometry)
+        trace = compile_workload(RandomOps(scale=0.3, seed=7),
+                                 by_name("F"), config=config)
+        assert_roundtrip(trace)
+
+    @pytest.mark.parametrize("geometry", ("victim8", "l2", "2way+victim8"))
+    def test_victim_and_l2_geometries_are_rejected(self, geometry):
+        from repro.errors import ConfigurationError
+        from repro.hw.params import apply_geometry
+        config = apply_geometry(evaluation_machine(), geometry)
+        with pytest.raises(ConfigurationError, match="victim-cache or L2"):
+            compile_workload(RandomOps(scale=0.3, seed=7), by_name("F"),
+                             config=config)
+
+
 class TestArtifactDeterminism:
     def test_save_load_save_is_byte_identical(self, tmp_path):
         """The on-disk artifact is deterministic: saving, loading and
