@@ -1,0 +1,161 @@
+"""The million-user serving benchmark: the north-star scenario, gated.
+
+A population of simulated users (16 cohorts x 15,000 users, ~4.5
+syscalls each — over a million server requests) is served through the
+Unix server's shared-channel and IPC page-transfer paths, first with
+``jobs=1`` (the bit-exact serial reference) and then cohort-sharded
+across a worker pool.  The two merged reports must be *identical* —
+same request count, same fold of every page checksum, same summed
+counters — which is the whole farm contract applied at production
+scale.  Results land in ``BENCH_serve.json`` at the repo root.
+
+Like the farm-scaling benchmark, the sharded-speedup gate only arms on
+hosts with at least two usable cores; the request-count and
+bit-identity gates hold everywhere.
+
+Also runnable standalone (the CI serve job invocation)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_serve.json"
+
+if str(REPO_ROOT / "src") not in sys.path:      # standalone invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.farm import Executor, farm_serve
+
+COHORTS = 16
+USERS_PER_COHORT = 15_000
+SHARDED_JOBS = 4
+
+#: the CI gates; the speedup one arms only on multi-core hosts.
+MIN_REQUESTS = 1_000_000
+MIN_SHARDED_SPEEDUP = 1.3
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:                      # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def measure() -> dict:
+    t0 = time.perf_counter()
+    serial = farm_serve(COHORTS, USERS_PER_COHORT, Executor(jobs=1))
+    serial_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = farm_serve(COHORTS, USERS_PER_COHORT,
+                         Executor(jobs=SHARDED_JOBS, timeout=600.0))
+    sharded_seconds = time.perf_counter() - t0
+
+    # The acceptance property: cohort sharding changes nothing, to the
+    # bit — requests, checksum fold, merged counters, everything.
+    equivalent = serial.to_dict() == sharded.to_dict()
+
+    usable_cores = _usable_cores()
+    return {
+        "cohorts": COHORTS,
+        "users_per_cohort": USERS_PER_COHORT,
+        "users": serial.users,
+        "requests": serial.requests,
+        "reads": serial.reads,
+        "writes": serial.writes,
+        "checksum": f"{serial.checksum:#010x}",
+        "cycles_per_request": round(serial.cycles_per_request, 1),
+        "bc_hit_rate": round(serial.bc_hits
+                             / (serial.bc_hits + serial.bc_misses), 4),
+        "usable_cores": usable_cores,
+        "sharded_gate_armed": usable_cores >= 2,
+        "serial": {
+            "host_seconds": round(serial_seconds, 2),
+            "requests_per_second": round(serial.requests / serial_seconds),
+        },
+        "sharded": {
+            "jobs": SHARDED_JOBS,
+            "host_seconds": round(sharded_seconds, 2),
+            "requests_per_second": round(serial.requests
+                                         / sharded_seconds),
+            "speedup": round(serial_seconds / sharded_seconds, 2),
+        },
+        "equivalent": equivalent,
+    }
+
+
+def render(result: dict) -> str:
+    lines = [
+        f"Serve: {result['requests']} requests from {result['users']} "
+        f"users ({result['cohorts']} cohorts, "
+        f"{result['usable_cores']} usable cores)",
+        "",
+        f"{'mode':<22} {'host seconds':>13} {'req/s':>9} {'speedup':>9}",
+        f"{'serial (jobs=1)':<22} "
+        f"{result['serial']['host_seconds']:>13.2f} "
+        f"{result['serial']['requests_per_second']:>9} {'1.0x':>9}",
+        f"{'sharded (jobs=' + str(result['sharded']['jobs']) + ')':<22} "
+        f"{result['sharded']['host_seconds']:>13.2f} "
+        f"{result['sharded']['requests_per_second']:>9} "
+        f"{str(result['sharded']['speedup']) + 'x':>9}",
+        "",
+        f"checksum {result['checksum']}, "
+        f"{result['cycles_per_request']} cycles/request, buffer-cache "
+        f"hit rate {result['bc_hit_rate']:.1%}",
+    ]
+    if result["sharded_gate_armed"]:
+        lines.append(f"sharded gate ARMED ({result['usable_cores']} "
+                     f"usable cores): must clear {MIN_SHARDED_SPEEDUP}x")
+    else:
+        lines.append("sharded gate DISARMED (single-core host): the "
+                     "sharded row measures dispatch overhead, not "
+                     "speedup")
+    lines.append("merged reports "
+                 + ("bit-identical" if result["equivalent"]
+                    else "DIVERGED") + " between serial and sharded")
+    return "\n".join(lines)
+
+
+def check(result: dict) -> list[str]:
+    """The gates; returns failure descriptions (empty == pass)."""
+    failures = []
+    if result["requests"] < MIN_REQUESTS:
+        failures.append(f"served only {result['requests']} requests "
+                        f"(gate: {MIN_REQUESTS})")
+    if not result["equivalent"]:
+        failures.append("sharded merged report is not bit-identical to "
+                        "the jobs=1 report")
+    if (result["sharded_gate_armed"]
+            and result["sharded"]["speedup"] < MIN_SHARDED_SPEEDUP):
+        failures.append(
+            f"sharded speedup {result['sharded']['speedup']}x on "
+            f"{result['usable_cores']} cores (gate: "
+            f"{MIN_SHARDED_SPEEDUP}x)")
+    return failures
+
+
+def test_serve(once):
+    from conftest import emit
+    result = once(measure)
+    JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    emit("serve", render(result))
+    assert check(result) == []
+
+
+if __name__ == "__main__":
+    result = measure()
+    JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(render(result))
+    failures = check(result)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}")
+    sys.exit(1 if failures else 0)

@@ -372,6 +372,33 @@ def _cmd_smp(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_serve(args) -> None:
+    import json
+
+    from repro.farm import farm_serve
+
+    executor, finish = _farm_setup(args, default_cache=False)
+    sizing = {key: getattr(args, key) for key in
+              ("hot_files", "file_pages", "frontends",
+               "buffer_cache_pages")
+              if getattr(args, key) is not None}
+    try:
+        report = farm_serve(args.cohorts, args.users_per_cohort, executor,
+                            policy=args.policy, conform=args.conform,
+                            **sizing)
+    finally:
+        finish()
+    print(report.summary())
+    print(_farm_line(executor))
+    if args.out:
+        payload = {"report": report.to_dict(),
+                   "farm": executor.stats.as_dict()}
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote serve report to {args.out}")
+
+
 def _cmd_conform(args) -> None:
     from repro.conformance import (ArcCoverage, ConformanceMonitor, Explorer,
                                    apply_mutant)
@@ -787,6 +814,34 @@ def build_parser() -> argparse.ArgumentParser:
             "unaligned), farmed and cached")
     p.add_argument("--out", metavar="FILE",
                    help="write the curve (and farm stats) as JSON")
+    add_farm_args(p)
+
+    p = add("serve", _cmd_serve,
+            "serve a simulated user population through the Unix server, "
+            "cohort-sharded across the farm")
+    p.add_argument("--cohorts", type=int, default=8,
+                   help="user cohorts; each is one farm job on a fresh "
+                        "kernel")
+    p.add_argument("--users-per-cohort", type=int, default=500,
+                   dest="users_per_cohort",
+                   help="simulated users per cohort (~4.5 syscalls each)")
+    p.add_argument("--policy", default=None,
+                   help="consistency configuration (A..F, G, or a Table 5 "
+                        "system; default the paper's new system)")
+    p.add_argument("--conform", action="store_true",
+                   help="shadow every cohort with the lockstep Table 2 "
+                        "monitor and merge arc coverage (slow)")
+    p.add_argument("--hot-files", type=int, default=None, dest="hot_files",
+                   help="pre-existing on-disk files the users read")
+    p.add_argument("--file-pages", type=int, default=None,
+                   dest="file_pages", help="pages per hot file")
+    p.add_argument("--frontends", type=int, default=None,
+                   help="frontend processes multiplexing each cohort")
+    p.add_argument("--buffer-cache-pages", type=int, default=None,
+                   dest="buffer_cache_pages",
+                   help="server buffer-cache capacity in pages")
+    p.add_argument("--out", metavar="FILE",
+                   help="write the merged report (and farm stats) as JSON")
     add_farm_args(p)
 
     p = add("conform", _cmd_conform,

@@ -25,9 +25,12 @@ from repro.farm.executor import (DEFAULT_TIMEOUT, Executor, FarmStats,
 from repro.farm.fingerprint import code_fingerprint
 from repro.farm.jobspec import JobSpec
 from repro.farm.runners import run_spec
+from repro.farm.snapshot import (fork_available, prewarm_fork_snapshot,
+                                 snapshot_info)
 from repro.farm.suites import (FarmJobError, farm_chaos_suite,
-                               farm_exhaustive, farm_explore,
-                               farm_sweep_grid, farm_sweep_points)
+                               farm_exhaustive, farm_explore, farm_serve,
+                               farm_sweep_grid, farm_sweep_points,
+                               serve_cohort_specs)
 
 __all__ = [
     "DEFAULT_TIMEOUT",
@@ -43,8 +46,13 @@ __all__ = [
     "farm_chaos_suite",
     "farm_exhaustive",
     "farm_explore",
+    "farm_serve",
     "farm_sweep_grid",
     "farm_sweep_points",
+    "fork_available",
+    "prewarm_fork_snapshot",
     "run_spec",
     "run_specs",
+    "serve_cohort_specs",
+    "snapshot_info",
 ]

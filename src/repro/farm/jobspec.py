@@ -132,6 +132,20 @@ class JobSpec:
                         else model)
 
     @classmethod
+    def serve(cls, cohort: int, users: int, policy: str | None = None,
+              hot_files: int | None = None, file_pages: int | None = None,
+              frontends: int | None = None,
+              buffer_cache_pages: int | None = None,
+              conform: bool = False) -> "JobSpec":
+        """One user cohort of the ``serve`` macro-workload.  ``None``
+        parameters drop out (absent == the workload's defaults)."""
+        return cls.make("serve", cohort=cohort, users=users, policy=policy,
+                        hot_files=hot_files, file_pages=file_pages,
+                        frontends=frontends,
+                        buffer_cache_pages=buffer_cache_pages,
+                        conform=conform or None)
+
+    @classmethod
     def selftest(cls, mode: str = "ok", **params) -> "JobSpec":
         return cls.make("selftest", mode=mode, **params)
 
@@ -179,7 +193,8 @@ class JobSpec:
         parts = [f"{k}={v}" for k, v in self.params
                  if k in ("workload", "policy", "seed", "preset",
                           "dcache_kib", "prefix", "mode", "n_cpus",
-                          "aligned", "geometry", "model")]
+                          "aligned", "geometry", "model", "cohort",
+                          "users")]
         return f"{self.kind}({', '.join(parts)})"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -34,6 +34,12 @@ Kinds:
     (or Unix-server) workload at ``n_cpus`` with ``aligned`` or
     unaligned sharing; payload is the result dict (cycles per record,
     consistency faults, coherence traffic).
+``serve``
+    One user cohort of the ``serve`` macro-workload: ``users`` simulated
+    users hammering the Unix server's buffer-cache and IPC paths on a
+    fresh kernel (optional policy/sizing overrides, optional ``conform``
+    lockstep shadowing); payload is the :class:`ServeCohortResult` dict
+    with the per-cohort read checksum and counter snapshot.
 ``explore``
     One conformance-explorer shard (seed, sequences, cache_pages);
     payload is the :class:`ExplorationReport` dict, coverage included.
@@ -209,6 +215,22 @@ def _run_smp_job(spec: JobSpec) -> dict:
         result = run_smp_unix_server(kernel)
     else:
         raise ConfigurationError(f"unknown smp workload {workload!r}")
+    return {"result": result.to_dict()}
+
+
+@runner("serve")
+def _run_serve_job(spec: JobSpec) -> dict:
+    from repro.workloads.serve import run_serve_cohort
+
+    kwargs = {}
+    for key in ("policy", "hot_files", "file_pages", "frontends",
+                "buffer_cache_pages"):
+        value = spec.get(key)
+        if value is not None:
+            kwargs[key] = value
+    result = run_serve_cohort(spec["cohort"], spec["users"],
+                              conform=bool(spec.get("conform", False)),
+                              **kwargs)
     return {"result": result.to_dict()}
 
 

@@ -1,0 +1,96 @@
+"""Fork-shared read-only snapshots for the worker pool.
+
+On the ``fork`` start method every worker is a copy-on-write clone of
+the parent, so anything expensive and immutable that exists *before*
+the fork is inherited for free: imported modules (bytecode, numpy),
+the derived Table 2 policy tables, machine templates, and the code
+fingerprint.  Without prewarming, each worker pays those costs again on
+its first job — exactly the per-worker overhead that kept the farm's
+parallel speedup below 1x.
+
+:func:`prewarm_fork_snapshot` builds that state in the parent, once per
+process, and records what it warmed.  It deliberately touches only
+state that is immutable-after-build and safe to share:
+
+* the runner registry and every module it pulls in (workloads, chaos
+  harness, conformance engine, trace compiler, SMP cluster) — the bulk
+  of a cold worker's first-job latency is these imports;
+* the module-level :func:`~repro.farm.fingerprint.code_fingerprint`
+  cache (a tree walk plus hashing);
+* the derived consistency tables for the paper's policy configurations
+  (:meth:`PolicyConfig.derive` outputs are frozen dataclasses);
+* a throwaway machine build, so template construction costs (including
+  numpy's first-allocation setup) are paid pre-fork.
+
+Workers never mutate any of this — jobs build their own machines and
+only *read* the shared tables — so copy-on-write pages stay shared for
+the life of the pool.
+
+On spawn-only platforms there is nothing to inherit; the executor skips
+the call and workers build state lazily per process, as before.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+#: what the last prewarm touched, for tests and diagnostics.
+_prewarmed: dict | None = None
+
+
+def fork_available() -> bool:
+    """True when this platform can start workers with ``fork``."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def snapshot_info() -> dict | None:
+    """What :func:`prewarm_fork_snapshot` built, or None if never run."""
+    return _prewarmed
+
+
+def prewarm_fork_snapshot(refresh: bool = False) -> dict:
+    """Build the expensive immutable state pre-fork; idempotent.
+
+    Returns a summary dict (also via :func:`snapshot_info`) naming what
+    was warmed.  Safe to call on any platform — it only *builds* state;
+    whether children inherit it depends on the start method, which the
+    executor checks before calling.
+    """
+    global _prewarmed
+    if _prewarmed is not None and not refresh:
+        return _prewarmed
+
+    # 1. Runner imports: pulling in the registry imports every job-kind
+    # implementation, which transitively loads the workloads, the chaos
+    # harness, the conformance engine, the trace compiler and the SMP
+    # cluster — the dominant cold-start cost of a worker.
+    import repro.farm.runners  # noqa: F401  (import is the work)
+
+    # 2. Code fingerprint: a source-tree walk plus hashing, cached at
+    # module level in repro.farm.fingerprint — workers doing cache
+    # lookups inherit the cached value instead of re-walking.
+    from repro.farm.fingerprint import code_fingerprint
+    fingerprint = code_fingerprint()
+
+    # 3. Derived policy tables: Table 2's transition dicts are built at
+    # import time in repro.core.transitions, and the policy ladder's
+    # frozen configurations likewise; importing them here (rather than
+    # inside the first job of each worker) puts them in shared pages.
+    from repro.core.transitions import OTHER_TRANSITIONS, TARGET_TRANSITIONS
+    from repro.vm.policy import CONFIG_LADDER
+    tables = len(TARGET_TRANSITIONS) + len(OTHER_TRANSITIONS)
+
+    # 4. One throwaway machine template: machine construction, numpy's
+    # first-allocation setup, and the default geometry all warm up
+    # pre-fork.
+    from repro.hw.machine import Machine
+    from repro.hw.params import MachineConfig, small_machine
+    Machine(small_machine())
+
+    _prewarmed = {
+        "fingerprint": fingerprint,
+        "table_arcs": tables,
+        "policies": [config.name for config in CONFIG_LADDER],
+        "machine_template": MachineConfig.__name__,
+    }
+    return _prewarmed

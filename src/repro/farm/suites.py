@@ -91,6 +91,38 @@ def farm_sweep_grid(workload_name: str, policy_names, sizes_kib,
     return points
 
 
+# ---- serve macro-workload --------------------------------------------------
+
+
+def serve_cohort_specs(cohorts: int, users_per_cohort: int,
+                       policy: str | None = None,
+                       conform: bool = False,
+                       **sizing) -> list[JobSpec]:
+    """The spec batch for a served population: one job per cohort.
+    Cohort ``i`` is a pure function of ``(i, users_per_cohort, ...)``,
+    so the same arguments always produce the same batch and therefore
+    the same merged report, at any pool width."""
+    return [JobSpec.serve(cohort=cohort, users=users_per_cohort,
+                          policy=policy, conform=conform, **sizing)
+            for cohort in range(cohorts)]
+
+
+def farm_serve(cohorts: int, users_per_cohort: int, executor: Executor,
+               policy: str | None = None, conform: bool = False,
+               **sizing):
+    """Serve a population across the farm; returns the merged
+    :class:`~repro.workloads.serve.ServeReport` (counters summed, arc
+    coverage merged, checksum folded in cohort order) — bit-identical
+    at any ``jobs`` width because each cohort boots its own kernel."""
+    from repro.workloads.serve import ServeCohortResult, merge_cohorts
+
+    specs = serve_cohort_specs(cohorts, users_per_cohort, policy=policy,
+                               conform=conform, **sizing)
+    results = [ServeCohortResult.from_dict(payload["result"])
+               for payload in _payloads(executor, specs)]
+    return merge_cohorts(results)
+
+
 # ---- conformance explorer --------------------------------------------------
 
 

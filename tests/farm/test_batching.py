@@ -1,0 +1,135 @@
+"""Batched dispatch: chunk auto-tuning and the per-chunk bookkeeping."""
+
+import queue
+import time
+from collections import deque
+
+from repro.farm import Executor, JobSpec
+from repro.farm.executor import (MAX_CHUNK, TARGET_CHUNK_SECONDS, _Flight,
+                                 _PoolState)
+from tests.farm.test_races import FakeWorker, make_state
+
+OK = [JobSpec.selftest(mode="ok", value=i) for i in range(40)]
+
+
+class TestChunkSizing:
+    def test_first_dispatch_is_one_job(self):
+        # Nothing observed yet: stay at 1 so long jobs keep timeouts
+        # and load balance fine-grained.
+        executor = Executor(jobs=4)
+        assert executor._chunk_size(100, 4) == 1
+
+    def test_short_jobs_grow_the_chunk(self):
+        executor = Executor(jobs=4)
+        executor._observe(0.001)        # 1ms jobs
+        assert executor._chunk_size(1000, 4) == MAX_CHUNK
+
+    def test_long_jobs_keep_chunks_small(self):
+        executor = Executor(jobs=4)
+        executor._observe(2 * TARGET_CHUNK_SECONDS)
+        assert executor._chunk_size(1000, 4) == 1
+
+    def test_fair_share_caps_the_chunk(self):
+        # 6 jobs over 4 workers: no worker may hoard more than
+        # ceil(6/4) == 2, however fast the jobs are.
+        executor = Executor(jobs=4)
+        executor._observe(1e-6)
+        assert executor._chunk_size(6, 4) == 2
+
+    def test_ema_tracks_observations(self):
+        executor = Executor(jobs=2)
+        executor._observe(0.1)
+        executor._observe(0.2)
+        assert 0.1 < executor._job_seconds < 0.2
+
+    def test_max_chunk_is_configurable(self):
+        executor = Executor(jobs=2, max_chunk=4)
+        executor._observe(1e-6)
+        assert executor._chunk_size(1000, 2) == 4
+
+
+class TestDispatch:
+    def test_dispatch_packs_a_chunk_per_message(self):
+        executor = Executor(jobs=2)
+        executor._observe(1e-6)         # tiny jobs: chunks want to grow
+        worker = FakeWorker(0)
+        state = make_state(executor, OK[:10], flights={},
+                           workers={0: worker})
+        state.pending = deque((i, 1) for i in range(10))
+        state.idle = [0]
+
+        executor._dispatch(state)
+
+        # ceil(10/1 worker) fair share exceeds MAX per... worker count
+        # is len(state.workers) == 1 here, so fair share is 10.
+        (message,) = worker.sent
+        assert [index for index, _ in message] == list(range(10))
+        assert state.flights[0].batch[0] == (0, 1)
+        assert not state.pending
+
+    def test_mid_chunk_result_rearms_the_deadline(self):
+        executor = Executor(jobs=2, timeout=30.0)
+        worker = FakeWorker(0)
+        flight = _Flight(batch=deque([(0, 1), (1, 1)]),
+                         deadline=time.monotonic() + 1.0,
+                         begun=time.perf_counter())
+        state = make_state(executor, OK[:2], flights={0: flight},
+                           workers={0: worker})
+        old_deadline = flight.deadline
+
+        executor._handle_result(state, 0, 0, "ok", {"value": 0}, 0.01)
+
+        assert state.outcomes[0].ok
+        # The second job of the chunk is now the running head, with a
+        # fresh full timeout.
+        assert flight.batch[0] == (1, 1)
+        assert flight.deadline > old_deadline
+        assert 0 in state.flights       # flight lives until batch drains
+
+        executor._handle_result(state, 0, 1, "ok", {"value": 1}, 0.01)
+        assert state.outcomes[1].ok
+        assert 0 not in state.flights
+        assert state.idle == [0]
+
+    def test_killed_chunk_requeues_unstarted_tail_unchanged(self):
+        """Only the running head of a killed worker's chunk consumes an
+        attempt; the tail never executed and requeues as it was."""
+        # degrade_after=0 so the reap degrades instead of spawning a
+        # real replacement process into the synthetic state.
+        executor = Executor(jobs=2, timeout=30.0, retries=1,
+                            degrade_after=0)
+        worker = FakeWorker(0, alive=False)
+        flight = _Flight(batch=deque([(0, 2), (1, 1), (2, 1)]),
+                         deadline=time.monotonic() + 30,
+                         begun=time.perf_counter())
+        state = make_state(executor, OK[:3], flights={0: flight},
+                          workers={0: worker})
+
+        assert executor._reap(state) is True    # degraded
+
+        assert worker.killed
+        assert executor.stats.worker_deaths == 1
+        # Head was on its final allowed attempt (attempt 2, retries=1),
+        # so the death is recorded as its structured failure.
+        assert state.outcomes[0] is not None
+        assert not state.outcomes[0].ok
+        assert state.outcomes[0].failure.kind == "worker-death"
+        assert state.outcomes[0].wall_seconds > 0.0
+        # The unstarted tail requeued in order with attempts unchanged.
+        assert list(state.pending) == [(1, 1), (2, 1)]
+
+
+class TestBatchedPoolEndToEnd:
+    def test_many_tiny_jobs_complete_in_order(self):
+        executor = Executor(jobs=2, timeout=60.0)
+        outcomes = executor.run(OK)
+        assert [o.payload["value"] for o in outcomes] == list(range(40))
+        # The tuner saw real observations during the run.
+        assert executor._job_seconds is not None
+
+    def test_batched_and_serial_agree(self):
+        serial = [o.payload for o in Executor(jobs=1).run(OK)]
+        pooled = [o.payload for o in
+                  Executor(jobs=3, timeout=60.0).run(OK)]
+        assert ([p["value"] for p in pooled]
+                == [p["value"] for p in serial])

@@ -97,6 +97,59 @@ class TestFailureSemantics:
         assert values == [0, 1, 2]
 
 
+class TestWallTimeAccounting:
+    def test_failed_job_records_real_wall_time(self):
+        # Regression: _fail never threaded elapsed time, so every
+        # failure reported wall_seconds=0.0.
+        (outcome,) = Executor(jobs=1, retries=0).run(
+            [JobSpec.selftest(mode="raise")])
+        assert not outcome.ok
+        assert outcome.wall_seconds > 0.0
+
+    def test_timed_out_job_records_the_time_it_burned(self):
+        executor = Executor(jobs=2, timeout=0.3, retries=0)
+        (outcome,) = executor.run([JobSpec.selftest(mode="hang",
+                                                    seconds=60.0)])
+        assert not outcome.ok and outcome.failure.kind == "timeout"
+        assert outcome.wall_seconds >= 0.3
+
+    def test_pool_failure_records_worker_side_wall_time(self):
+        executor = Executor(jobs=2, retries=0, timeout=30.0)
+        (outcome,) = executor.run([JobSpec.selftest(mode="raise")])
+        assert not outcome.ok
+        assert outcome.wall_seconds > 0.0
+
+
+class TestDegradedAttemptAccounting:
+    def test_killed_in_flight_attempt_is_counted(self):
+        # Regression: degradation used to requeue in-flight jobs with
+        # their old attempt number, so the killed pool attempt never
+        # showed in JobOutcome.attempts and the serial farm-start event
+        # repeated the same attempt number.
+        executor = Executor(jobs=2, retries=0, timeout=30.0,
+                            degrade_after=0)
+        executor.bus.enable()
+        events = []
+        executor.bus.subscribe(lambda e: events.append(e))
+        outcomes = executor.run([JobSpec.selftest(mode="die"),
+                                 JobSpec.selftest(mode="spin",
+                                                  seconds=0.8, value=5)])
+        assert executor.stats.degraded
+        assert not outcomes[0].ok
+        survivor = outcomes[1]
+        assert survivor.ok and survivor.payload["value"] == 5
+        # The pool attempt that was killed at degradation counts.
+        assert survivor.attempts == 2
+        # Narrated as a degraded retry, and the serial re-execution
+        # starts with the *incremented* attempt number.
+        retries = [e for e in events if e.kind == "farm-retry"
+                   and e.detail["job"] == 1]
+        assert retries and retries[-1].detail["reason"] == "degraded"
+        starts = [e.detail["attempt"] for e in events
+                  if e.kind == "farm-start" and e.detail["job"] == 1]
+        assert starts == [1, 2]
+
+
 class TestEventsAndCache:
     def test_the_bus_narrates_the_run(self, tmp_path):
         executor = Executor(jobs=1, retries=1,

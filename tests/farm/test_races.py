@@ -1,0 +1,151 @@
+"""Deterministic coverage of the pool loop's race-ordering contracts.
+
+The real pool exercises these paths only under timing accidents: a
+worker ships its result in the same scheduling window the parent
+declares it hung or dead, or a replaced worker's leftover result
+arrives after its flight was torn down.  Here the loop's pieces —
+``_drain``, ``_reap``, ``_handle_result`` — run against synthetic
+:class:`_PoolState` with hand-loaded queues and fake workers, so every
+race resolves the same way on every run:
+
+* **drain before judgment** — work that finished is counted even if its
+  worker's deadline passed or its process died in the meantime; the
+  result queue is the source of truth;
+* **stale results are discarded** — a result whose flight no longer
+  exists (replaced worker) or whose index is not the running head of
+  its flight mutates nothing.
+"""
+
+import queue
+import time
+from collections import deque
+
+from repro.farm import Executor, JobSpec
+from repro.farm.executor import _Flight, _PoolState
+
+
+class FakeProc:
+    def __init__(self, alive: bool):
+        self._alive = alive
+
+    def is_alive(self) -> bool:
+        return self._alive
+
+
+class FakeWorker:
+    """Stands in for _Worker: liveness + a recording task queue."""
+
+    def __init__(self, wid: int, alive: bool = True):
+        self.wid = wid
+        self.proc = FakeProc(alive)
+        self.killed = False
+        self.sent: list = []
+        self.task_q = self
+
+    def put(self, message) -> None:     # the task_q interface
+        self.sent.append(message)
+
+    def kill(self) -> None:
+        self.killed = True
+
+
+def make_state(executor: Executor, specs, flights: dict,
+               workers: dict) -> _PoolState:
+    outcomes = [None] * len(specs)
+    state = _PoolState(specs, deque(), outcomes, queue.Queue())
+    state.flights = flights
+    state.workers = workers
+    state.next_wid = max(workers, default=-1) + 1
+    return state
+
+
+def test_result_racing_a_timeout_still_counts():
+    """The job's deadline passed, but its result is already queued:
+    drain runs before reap, so the job completes — no retry, no kill."""
+    executor = Executor(jobs=2, timeout=5.0)
+    specs = [JobSpec.selftest(mode="ok", value=7)]
+    worker = FakeWorker(0, alive=True)
+    expired = time.monotonic() - 10.0           # long past its deadline
+    state = make_state(executor, specs,
+                       flights={0: _Flight(batch=deque([(0, 1)]),
+                                           deadline=expired,
+                                           begun=time.perf_counter())},
+                       workers={0: worker})
+    state.result_q.put((0, 0, "ok", {"value": 7}, 0.01))
+
+    executor._drain(state)
+    assert executor._reap(state) is False
+
+    outcome = state.outcomes[0]
+    assert outcome is not None and outcome.ok
+    assert outcome.payload == {"value": 7}
+    assert outcome.attempts == 1
+    assert executor.stats.worker_deaths == 0
+    assert not worker.killed
+    assert not state.pending                    # nothing was requeued
+
+
+def test_result_racing_a_worker_death_still_counts():
+    """The worker shipped its result and then died: the drained result
+    completes the job; the dead-but-finished worker costs nothing."""
+    executor = Executor(jobs=2, timeout=30.0)
+    specs = [JobSpec.selftest(mode="ok", value=3)]
+    worker = FakeWorker(0, alive=False)         # already dead
+    state = make_state(executor, specs,
+                       flights={0: _Flight(batch=deque([(0, 1)]),
+                                           deadline=time.monotonic() + 30,
+                                           begun=time.perf_counter())},
+                       workers={0: worker})
+    state.result_q.put((0, 0, "ok", {"value": 3}, 0.02))
+
+    executor._drain(state)
+    # The flight resolved on drain, so reap finds nothing to judge: the
+    # death is only observable once the worker has another flight.
+    assert executor._reap(state) is False
+
+    outcome = state.outcomes[0]
+    assert outcome is not None and outcome.ok and outcome.attempts == 1
+    assert executor.stats.worker_deaths == 0
+    assert not state.pending
+
+
+def test_stale_result_from_replaced_worker_is_discarded():
+    """A result from a worker whose flight was torn down (it was killed
+    and replaced; the job was requeued) must mutate nothing — the job's
+    live attempt owns the outcome slot."""
+    executor = Executor(jobs=2, timeout=30.0)
+    specs = [JobSpec.selftest(mode="ok", value=v) for v in range(3)]
+    live = FakeWorker(1, alive=True)
+    state = make_state(executor, specs,
+                       flights={1: _Flight(batch=deque([(2, 1)]),
+                                           deadline=time.monotonic() + 30,
+                                           begun=time.perf_counter())},
+                       workers={1: live})
+    # wid 0 was replaced: no flight entry at all.
+    state.result_q.put((0, 0, "ok", {"value": 0}, 0.01))
+    # wid 1 reports an index that is not its running head (a leftover
+    # from a batch the parent already requeued).
+    state.result_q.put((1, 5, "ok", {"value": 99}, 0.01))
+
+    executor._drain(state)
+
+    assert state.outcomes == [None, None, None]
+    assert not state.pending
+    # The live flight is untouched and still waiting on its real head.
+    assert state.flights[1].batch[0] == (2, 1)
+
+
+def test_stale_error_result_is_discarded_too():
+    """The stale filter applies to error results as well: a dead
+    attempt's exception must not burn the live attempt's retries."""
+    executor = Executor(jobs=2, timeout=30.0, retries=0)
+    specs = [JobSpec.selftest(mode="ok", value=1)]
+    state = make_state(executor, specs, flights={}, workers={})
+    state.result_q.put((4, 0, "error",
+                        {"type": "RuntimeError", "message": "stale",
+                         "traceback": ""}, 0.01))
+
+    executor._drain(state)
+
+    assert state.outcomes == [None]
+    assert executor.stats.retries == 0

@@ -1,0 +1,49 @@
+"""Fork-shared snapshot prewarming."""
+
+import multiprocessing
+
+import pytest
+
+from repro.farm import (Executor, JobSpec, code_fingerprint,
+                        fork_available, prewarm_fork_snapshot,
+                        snapshot_info)
+
+
+def test_prewarm_builds_and_reports_the_snapshot():
+    info = prewarm_fork_snapshot(refresh=True)
+    assert info["fingerprint"] == code_fingerprint()
+    assert info["table_arcs"] > 0
+    assert info["policies"] == ["A", "B", "C", "D", "E", "F"]
+    assert snapshot_info() is info
+
+
+def test_prewarm_is_idempotent():
+    first = prewarm_fork_snapshot()
+    assert prewarm_fork_snapshot() is first
+    assert prewarm_fork_snapshot(refresh=True) is not first
+
+
+def test_fork_available_matches_multiprocessing():
+    assert fork_available() == (
+        "fork" in multiprocessing.get_all_start_methods())
+
+
+@pytest.mark.skipif(not fork_available(),
+                    reason="platform has no fork start method")
+def test_pool_run_on_fork_prewarms_the_parent():
+    import repro.farm.snapshot as snapshot_module
+    snapshot_module._prewarmed = None
+    executor = Executor(jobs=2, timeout=30.0, start_method="fork")
+    outcomes = executor.run([JobSpec.selftest(mode="ok", value=i)
+                             for i in range(4)])
+    assert all(o.ok for o in outcomes)
+    assert snapshot_info() is not None
+
+
+def test_spawn_pool_skips_the_prewarm():
+    import repro.farm.snapshot as snapshot_module
+    snapshot_module._prewarmed = None
+    executor = Executor(jobs=2, timeout=60.0, start_method="spawn")
+    outcomes = executor.run([JobSpec.selftest(mode="ok", value=1)])
+    assert all(o.ok for o in outcomes)
+    assert snapshot_info() is None

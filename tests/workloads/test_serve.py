@@ -1,0 +1,106 @@
+"""The serve macro-workload: determinism, sharding, and the merge."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.farm import (Executor, JobSpec, farm_serve, run_spec,
+                        serve_cohort_specs)
+from repro.workloads.serve import (ServeCohortResult, merge_cohorts,
+                                   run_serve_cohort, user_hash)
+
+
+class TestCohortDeterminism:
+    def test_same_cohort_twice_is_identical(self):
+        assert run_serve_cohort(3, 80) == run_serve_cohort(3, 80)
+
+    def test_cohorts_are_distinct_populations(self):
+        a, b = run_serve_cohort(0, 80), run_serve_cohort(1, 80)
+        assert a.checksum != b.checksum
+
+    def test_user_hash_is_stable(self):
+        # crc32, not hash(): the value must survive interpreter restarts
+        # and cross process boundaries.
+        assert user_hash(0, 0) == 0xEFEF3443
+
+    def test_requests_count_server_syscalls(self):
+        result = run_serve_cohort(0, 50)
+        # Every user costs at least stat+open+read+close.
+        assert result.requests >= 4 * 50
+        assert result.reads >= 50
+        assert result.cycles > 0
+        assert result.bc_hits + result.bc_misses >= result.reads
+
+    def test_conform_shadow_rides_the_cohort(self):
+        plain = run_serve_cohort(2, 40)
+        shadowed = run_serve_cohort(2, 40, conform=True)
+        assert shadowed.coverage is not None
+        assert shadowed.requests == plain.requests
+        assert shadowed.checksum == plain.checksum
+
+    def test_policies_change_cost_not_content(self):
+        new = run_serve_cohort(0, 60)
+        old = run_serve_cohort(0, 60, policy="A")
+        assert old.checksum == new.checksum     # same bytes served
+        assert old.cycles != new.cycles         # different management cost
+
+
+class TestMerge:
+    def test_merge_is_order_independent(self):
+        results = [run_serve_cohort(c, 40) for c in range(3)]
+        assert (merge_cohorts(results)
+                == merge_cohorts(list(reversed(results))))
+
+    def test_merge_sums_and_folds(self):
+        results = [run_serve_cohort(c, 40) for c in range(2)]
+        merged = merge_cohorts(results)
+        assert merged.users == 80
+        assert merged.requests == sum(r.requests for r in results)
+        assert merged.counters["read_hits"] == sum(
+            r.counters["read_hits"] for r in results)
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_cohorts([])
+
+
+class TestFarmServe:
+    def test_sharded_is_bit_identical_to_serial(self):
+        serial = farm_serve(3, 40, Executor(jobs=1))
+        pooled = farm_serve(3, 40, Executor(jobs=2, timeout=60.0))
+        assert serial.to_dict() == pooled.to_dict()
+
+    def test_conform_coverage_merges(self):
+        report = farm_serve(2, 30, Executor(jobs=1), conform=True)
+        assert report.coverage is not None
+        assert "cohorts" in report.to_dict()
+        assert "arc coverage" in report.summary()
+
+    def test_cohort_specs_are_stable(self):
+        assert (serve_cohort_specs(3, 100)
+                == serve_cohort_specs(3, 100))
+        specs = serve_cohort_specs(2, 50, policy="F", frontends=2)
+        assert specs[0]["policy"] == "F"
+        assert specs[1]["cohort"] == 1
+
+    def test_runner_payload_round_trips(self):
+        spec = JobSpec.serve(cohort=1, users=30)
+        payload = run_spec(spec)
+        result = ServeCohortResult.from_dict(payload["result"])
+        assert result == run_serve_cohort(1, 30)
+
+    def test_spec_defaults_drop_out(self):
+        # None parameters are absent, so cache keys don't churn when a
+        # default is spelled explicitly as None.
+        assert (JobSpec.serve(cohort=0, users=10)
+                == JobSpec.serve(cohort=0, users=10, policy=None))
+        assert "cohort=0" in JobSpec.serve(cohort=0, users=10).label()
+
+    def test_unknown_policy_is_rejected(self):
+        with pytest.raises(KeyError):
+            run_serve_cohort(0, 10, policy="Z")
+
+
+class TestValidation:
+    def test_serve_spec_requires_scalars(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec.make("serve", cohort={"not": "scalar"})
