@@ -1,0 +1,251 @@
+"""Policy comparison: the paper's ladder against external strategies.
+
+Four registered consistency policies — A (the old system), F (the
+paper's best), ``rlt`` (reverse-lookup table: exact synonym
+invalidation, arXiv 2108.00444) and ``vespa`` (superpage-aware VIPT,
+arXiv 1701.03499) — run the same traffic on the same machine:
+
+* the three paper workloads plus the ``serve`` macro-workload (farmed
+  ``JobSpec`` batches, cached like any other farm run);
+* the Section 2.5 unaligned alias loop, where exact invalidation should
+  pay for its lookups (the RLT gate);
+* the superpage receive ring, where index-aligned superpages make alias
+  management unnecessary (the VESPA gate).
+
+The results land in ``BENCH_policies.json``.  The gates assert each
+external strategy beats or matches F on its home ground while every
+policy returns bit-identical data (checksums are part of the payload):
+a policy that wins by corrupting memory fails the bench, not the
+invariant it skipped.
+
+Also runnable standalone (the CI policy job invocation)::
+
+    PYTHONPATH=src python benchmarks/bench_policies.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_policies.json"
+
+if str(REPO_ROOT / "src") not in sys.path:      # standalone invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.farm import Executor, JobSpec
+
+POLICIES = ("A", "F", "rlt", "vespa")
+PAPER_WORKLOADS = ("afs-bench", "latex-paper", "kernel-build")
+SCALE = 1.0
+SERVE_USERS = 400
+MICRO_ITERATIONS = 4000
+
+
+def _fresh_kernel(policy: str):
+    from repro.analysis.experiments import evaluation_machine
+    from repro.kernel.kernel import Kernel
+
+    return Kernel(policy=policy, config=evaluation_machine())
+
+
+def _micro_point(policy: str) -> dict:
+    """The unaligned alias loop with the management bill itemized."""
+    from repro.hw.stats import FaultKind
+    from repro.workloads.microbench import run_alias_write_loop
+
+    kernel = _fresh_kernel(policy)
+    result = run_alias_write_loop(kernel, MICRO_ITERATIONS, aligned=False)
+    counters = kernel.machine.counters
+    lookup_cycles = (counters.rlt_lookups
+                     * kernel.machine.config.cost.rlt_lookup)
+    management = (counters.total_flush_cycles()
+                  + counters.total_purge_cycles() + lookup_cycles)
+    return {
+        "policy": policy,
+        "cycles": result.cycles,
+        "consistency_faults": result.consistency_faults,
+        "page_flushes": result.page_flushes,
+        "page_purges": result.page_purges,
+        "rlt_lookups": counters.rlt_lookups,
+        "rlt_skipped_ops": counters.rlt_skipped_ops,
+        "management_cycles": management,
+    }
+
+
+def _superpage_point(policy: str) -> dict:
+    """The zero-copy receive ring on a superpage region."""
+    from repro.analysis.experiments import run_workload
+    from repro.hw.stats import FaultKind
+    from repro.workloads.superpage import SuperpageRx
+
+    kernel = _fresh_kernel(policy)
+    workload = SuperpageRx(SCALE)
+    metrics = run_workload(workload, policy, kernel=kernel)
+    counters = kernel.machine.counters
+    return {
+        "policy": policy,
+        "cycles": metrics.cycles,
+        "consistency_faults": counters.faults[FaultKind.CONSISTENCY],
+        "page_flushes": counters.total_flushes(),
+        "page_purges": counters.total_purges(),
+        "rlt_skipped_ops": counters.rlt_skipped_ops,
+        "superpage_mappings": counters.superpage_mappings,
+        "checksum": workload.checksum,
+    }
+
+
+def measure(executor: Executor | None = None) -> dict:
+    executor = executor or Executor(jobs=1)
+
+    specs = [JobSpec.workload(workload=w, policy=p, scale=SCALE)
+             for w in PAPER_WORKLOADS for p in POLICIES]
+    specs += [JobSpec.serve(cohort=0, users=SERVE_USERS, policy=p)
+              for p in POLICIES]
+    outcomes = executor.run(specs)
+    assert all(o.ok for o in outcomes), \
+        [str(o.failure) for o in outcomes if not o.ok]
+
+    paper, serve = [], []
+    for spec, outcome in zip(specs, outcomes):
+        if spec.kind == "workload":
+            # OpCost fields encode as [count, cycles] pairs (RunMetrics
+            # .to_dict); index accordingly.
+            m = outcome.payload["metrics"]
+            paper.append({"workload": spec["workload"],
+                          "policy": spec["policy"],
+                          "cycles": m["cycles"],
+                          "consistency_faults": m["consistency_faults"][0],
+                          "flush_cycles": (m["dcache_flushes"][1]
+                                           + m["icache_flushes"][1]),
+                          "purge_cycles": (m["dcache_purges"][1]
+                                           + m["icache_purges"][1])})
+        else:
+            r = outcome.payload["result"]
+            serve.append({"policy": spec["policy"],
+                          "cycles_per_request": r["cycles_per_request"],
+                          "checksum": r["checksum"],
+                          "requests": r["requests"]})
+
+    return {
+        "policies": list(POLICIES),
+        "scale": SCALE,
+        "paper_workloads": paper,
+        "serve": serve,
+        "micro_unaligned": [_micro_point(p) for p in POLICIES],
+        "superpage": [_superpage_point(p) for p in POLICIES],
+        "farm": executor.stats.as_dict(),
+    }
+
+
+def _by_policy(points: list[dict]) -> dict[str, dict]:
+    return {p["policy"]: p for p in points}
+
+
+def render(result: dict) -> str:
+    lines = [
+        "Policy comparison: the A-F ladder vs external strategies "
+        "(rlt = exact invalidation, vespa = superpage-aware VIPT)",
+        "",
+        f"{'workload':>14} " + "".join(f"{p:>12}" for p in
+                                       result["policies"]) + "   (cycles)",
+    ]
+    by_wl: dict[str, dict[str, int]] = {}
+    for point in result["paper_workloads"]:
+        by_wl.setdefault(point["workload"], {})[point["policy"]] = \
+            point["cycles"]
+    for workload, row in by_wl.items():
+        lines.append(f"{workload:>14} "
+                     + "".join(f"{row[p]:>12}" for p in result["policies"]))
+    serve = _by_policy(result["serve"])
+    lines.append(f"{'serve (c/req)':>14} "
+                 + "".join(f"{serve[p]['cycles_per_request']:>12.1f}"
+                           for p in result["policies"]))
+    micro = _by_policy(result["micro_unaligned"])
+    lines.append(f"{'micro (mgmt)':>14} "
+                 + "".join(f"{micro[p]['management_cycles']:>12}"
+                           for p in result["policies"]))
+    sp = _by_policy(result["superpage"])
+    lines.append(f"{'superpage-rx':>14} "
+                 + "".join(f"{sp[p]['cycles']:>12}"
+                           for p in result["policies"]))
+    lines.append("")
+    lines.append(
+        f"superpage-rx consistency faults: "
+        + ", ".join(f"{p}={sp[p]['consistency_faults']}"
+                    for p in result["policies"])
+        + f"; rlt skipped {micro['rlt']['rlt_skipped_ops']} micro ops "
+          f"via {micro['rlt']['rlt_lookups']} lookups")
+    return "\n".join(lines)
+
+
+def check(result: dict) -> list[str]:
+    """The CI gates; returns failure descriptions (empty == pass)."""
+    failures = []
+    micro = _by_policy(result["micro_unaligned"])
+    sp = _by_policy(result["superpage"])
+    serve = _by_policy(result["serve"])
+
+    # RLT's home ground: unaligned sharing, where exact invalidation
+    # must pay for its lookups — total management cycles at or below F.
+    if micro["rlt"]["management_cycles"] > micro["F"]["management_cycles"]:
+        failures.append(
+            f"rlt management cycles ({micro['rlt']['management_cycles']}) "
+            f"exceed F ({micro['F']['management_cycles']}) on the "
+            f"unaligned alias loop")
+    if micro["rlt"]["rlt_skipped_ops"] == 0:
+        failures.append("rlt never skipped a flush/purge on the "
+                        "unaligned alias loop")
+
+    # VESPA's home ground: the superpage ring must run without a single
+    # consistency fault and beat F outright.
+    if sp["vespa"]["consistency_faults"] != 0:
+        failures.append(
+            f"vespa took {sp['vespa']['consistency_faults']} consistency "
+            f"faults on the superpage ring (must be zero)")
+    if sp["vespa"]["cycles"] >= sp["F"]["cycles"]:
+        failures.append(
+            f"vespa superpage cycles ({sp['vespa']['cycles']}) not below "
+            f"F ({sp['F']['cycles']})")
+    for policy in result["policies"]:
+        if sp[policy]["superpage_mappings"] != 1:
+            failures.append(f"{policy}: superpage region not entered")
+
+    # Correctness rides along: every policy must produce identical data.
+    for group, key in ((result["superpage"], "checksum"),
+                       (result["serve"], "checksum")):
+        values = {p[key] for p in group}
+        if len(values) != 1:
+            failures.append(
+                f"policies disagree on {key}s: "
+                + ", ".join(f"{p['policy']}={p[key]}" for p in group))
+
+    # The external strategies must not regress the macro-workload.
+    for name in ("rlt", "vespa"):
+        ratio = (serve[name]["cycles_per_request"]
+                 / serve["F"]["cycles_per_request"])
+        if ratio > 1.02:
+            failures.append(
+                f"{name} serve cycles/request {ratio:.3f}x of F "
+                f"(must stay within 2%)")
+    return failures
+
+
+def test_policies(once):
+    from conftest import emit, farm_executor
+    result = once(measure, farm_executor())
+    JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    emit("policies", render(result))
+    assert check(result) == []
+
+
+if __name__ == "__main__":
+    result = measure()
+    JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(render(result))
+    failures = check(result)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}")
+    sys.exit(1 if failures else 0)

@@ -58,16 +58,21 @@ def make_workload(name: str, scale: float = DEFAULT_SCALE) -> Workload:
     return WORKLOADS[name](scale)
 
 
-def run_workload(workload: Workload, policy: PolicyConfig,
+def run_workload(workload: Workload, policy,
                  config: MachineConfig | None = None,
                  buffer_cache_pages: int = 48,
                  kernel: Kernel | None = None) -> RunMetrics:
     """Boot a fresh kernel under ``policy`` and measure one execution.
 
-    A pre-booted ``kernel`` may be supplied instead (the CLI uses this to
-    attach a fault injector before the workload starts); it must have been
-    built with the same policy.
+    ``policy`` is anything :func:`repro.policy.resolve` accepts: a
+    :class:`PolicyConfig` flag bag, a registered policy name, or a
+    :class:`~repro.policy.ConsistencyPolicy` instance.  A pre-booted
+    ``kernel`` may be supplied instead (the CLI uses this to attach a
+    fault injector before the workload starts); it must have been built
+    with the same policy.
     """
+    from repro.policy import resolve
+    policy = resolve(policy)
     if kernel is None:
         kernel = Kernel(policy=policy,
                         config=config or evaluation_machine(),

@@ -12,7 +12,9 @@ Usage::
                                    [--trace-events FILE] [--cpus N]
                                    [--geometry SPEC] [--list-points]
     python -m repro chaos [--plans 50] [--preset mixed] [--steps 200]
-                          [--jobs N] [--cpus N] [--list-points]
+                          [--jobs N] [--cpus N] [--policy NAME]
+                          [--list-points]
+    python -m repro policies
     python -m repro smp [--out FILE] [--jobs N]
     python -m repro conform [--sequences 200] [--seed 0] [--scale 0.25]
                             [--mutant NAME] [--jobs N]
@@ -58,6 +60,9 @@ counters, clock and event hashes (see docs/trace-compiler.md).
 workload (or the alignment microbenchmark) and exports the complete
 counter state as JSON or Prometheus text; ``profile`` runs a workload
 under the cycle-attribution profiler and prints the cycle flamegraph;
+``policies`` lists every registered consistency policy — the paper's
+flag bags plus external strategies (``rlt``, ``vespa``; see
+docs/policies.md) usable wherever ``--policy`` is accepted;
 ``run --trace-events FILE`` streams the structured event bus (flushes,
 purges, faults, DMA, injections, divergences) to a JSONL file (see
 docs/observability.md).
@@ -87,7 +92,7 @@ from repro.analysis.tables import (render_micro, render_overhead_summary,
                                    render_table1, render_table4)
 from repro.core.transitions import render_table2
 from repro.errors import ConformanceError, ReproError
-from repro.vm.policy import by_name
+from repro.policy import get_policy
 
 #: the workload names the evaluation (and the golden traces) cover.
 WORKLOAD_NAMES = ("afs-bench", "latex-paper", "kernel-build")
@@ -142,7 +147,7 @@ def _print_points() -> None:
 def _cmd_run(args) -> None:
     if getattr(args, "list_points", False):
         return _print_points()
-    policy = by_name(args.policy)
+    policy = get_policy(args.policy)
     config = evaluation_machine(n_cpus=args.cpus)
     geometry = getattr(args, "geometry", None)
     if geometry:
@@ -313,12 +318,14 @@ def _cmd_chaos(args) -> None:
     executor, finish = _farm_setup(args) if farmed else (None, lambda: None)
     reports = []
     totals = None
+    policy_kwargs = ({"policy": args.policy}
+                     if getattr(args, "policy", None) else {})
     try:
         for preset in presets:
             reports += run_chaos_suite(
                 range(args.seed, args.seed + args.plans),
                 preset=preset, steps=args.steps, executor=executor,
-                n_cpus=args.cpus)
+                n_cpus=args.cpus, **policy_kwargs)
             if executor is not None:
                 totals = _merge_stats(totals, executor.stats)
     finally:
@@ -449,7 +456,7 @@ def _cmd_conform(args) -> None:
         failed |= not (cover.ok and cover.coverage.complete)
 
         # 3. Live shadowing of the paper workloads.
-        policy = by_name(args.policy)
+        policy = get_policy(args.policy)
         merged = ArcCoverage()
         merged.merge(sweep.coverage)
         merged.merge(cover.coverage)
@@ -597,7 +604,7 @@ def _cmd_trace(args) -> None:
     from repro.analysis.trace import Tracer, diff_traces
     from repro.kernel.kernel import Kernel
 
-    policy = by_name(args.policy)
+    policy = get_policy(args.policy)
     kernel = Kernel(policy=policy, config=evaluation_machine(),
                     buffer_cache_pages=48)
     with Tracer(kernel) as tracer:
@@ -629,7 +636,7 @@ def _cmd_trace_compile(args) -> None:
                          f"(one of {', '.join(WORKLOAD_NAMES)})")
     if not args.out:
         raise SystemExit("trace compile: --out FILE is required")
-    policy = by_name(args.policy)
+    policy = get_policy(args.policy)
     trace = compile_workload(make_workload(args.arg, args.scale), policy,
                              inject=args.inject, seed=args.seed,
                              conform=args.conform,
@@ -670,7 +677,7 @@ def _cmd_metrics(args) -> None:
     from repro.obs import to_json, to_prometheus, verify_export
     from repro.workloads.microbench import run_alias_write_loop
 
-    policy = by_name(args.policy)
+    policy = get_policy(args.policy)
     kernel = Kernel(policy=policy, config=evaluation_machine(),
                     buffer_cache_pages=48)
     if args.target == "micro":
@@ -691,11 +698,34 @@ def _cmd_metrics(args) -> None:
 def _cmd_profile(args) -> None:
     from repro.obs import profile_run
 
-    report = profile_run(args.workload, policy=by_name(args.policy),
+    report = profile_run(args.workload, policy=get_policy(args.policy),
                          scale=args.scale)
     print(report.render())
     if not report.ok:
         raise SystemExit(1)
+
+
+def _cmd_policies(args) -> None:
+    """``repro policies``: the registered consistency-policy catalog."""
+    from repro.policy import all_policies
+
+    origins = {"paper": "the A-F ladder and G (Sections 4-5)",
+               "table5": "the Table 5 related systems",
+               "external": "strategies from follow-on work"}
+    by_origin: dict[str, list] = {}
+    for policy in all_policies():
+        by_origin.setdefault(policy.origin, []).append(policy)
+    for origin in ("paper", "table5", "external"):
+        group = by_origin.pop(origin, [])
+        if not group:
+            continue
+        print(f"{origin} — {origins.get(origin, '')}:")
+        for policy in group:
+            print(f"  {policy.name:<12} {policy.description}")
+    for origin, group in sorted(by_origin.items()):  # any future origins
+        print(f"{origin}:")
+        for policy in group:
+            print(f"  {policy.name:<12} {policy.description}")
 
 
 def _cmd_all(args) -> None:
@@ -759,11 +789,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = add("micro", _cmd_micro, "the Section 2.5 alignment loop")
     p.add_argument("--iterations", type=int, default=20_000)
 
+    add("policies", _cmd_policies,
+        "list the registered consistency policies (name, origin, "
+        "description)")
+
     p = add("run", _cmd_run, "run one workload under one configuration")
     p.add_argument("workload",
                    choices=["afs-bench", "latex-paper", "kernel-build"])
     p.add_argument("--policy", default="F",
-                   help="A..F, G, or a Table 5 system name")
+                   help="A..F, G, a Table 5 system, or an external "
+                        "strategy (rlt, vespa); see `repro policies`")
     p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
     p.add_argument("--inject", metavar="PLAN",
                    help="fault plan: 'point[:rate[:burst]],...' "
@@ -804,6 +839,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="boot each run on an N-CPU coherent cluster: "
                         "snoop-race points arm and the conformance shadow "
                         "becomes one lockstep oracle per CPU")
+    p.add_argument("--policy", default=None,
+                   help="consistency policy for every run (any name from "
+                        "`repro policies`; default: the paper's new "
+                        "system)")
     p.add_argument("--list-points", action="store_true",
                    dest="list_points",
                    help="print the fault-injection point catalog and exit")

@@ -80,6 +80,10 @@ class PhysPageState:
         # The frame is accessed uncached (Sun-style alias handling): no
         # cache state exists while this is set.
         self.uncached = False
+        # The frame backs a superpage region (physically contiguous,
+        # index-aligned): its cache index is physically determined, so a
+        # superpage-aware policy (VESPA) can skip alias management.
+        self.superpage = False
         # On a physically indexed cache every virtual address of this
         # frame selects the same cache page (derived from the physical
         # page), so all aliases align by construction (Section 3.3).

@@ -98,11 +98,15 @@ class JobSpec:
 
     @classmethod
     def chaos(cls, seed: int, preset: str = "mixed", steps: int = 200,
-              n_cpus: int | None = None) -> "JobSpec":
+              n_cpus: int | None = None,
+              policy: str | None = None) -> "JobSpec":
         # n_cpus=None (and 1) drop out of the spec so uniprocessor keys —
-        # and their cached payloads — are unchanged from before SMP.
+        # and their cached payloads — are unchanged from before SMP; the
+        # same None-drop keeps pre-policy keys stable (absent == the
+        # default NEW_SYSTEM configuration).
         return cls.make("chaos", seed=seed, preset=preset, steps=steps,
-                        n_cpus=None if n_cpus in (None, 1) else n_cpus)
+                        n_cpus=None if n_cpus in (None, 1) else n_cpus,
+                        policy=policy)
 
     @classmethod
     def smp(cls, n_cpus: int, aligned: bool, workload: str = "ring",

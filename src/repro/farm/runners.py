@@ -88,9 +88,9 @@ def _run_workload_job(spec: JobSpec) -> dict:
     from repro.analysis.experiments import (evaluation_machine,
                                             make_workload, run_workload)
     from repro.analysis.sweep import machine_with_dcache
-    from repro.vm.policy import by_name
+    from repro.policy import get_policy
 
-    policy = by_name(spec["policy"])
+    policy = get_policy(spec["policy"])
     dcache_kib = spec.get("dcache_kib")
     phys_pages = spec.get("phys_pages")
     if dcache_kib is not None:
@@ -189,9 +189,12 @@ def _run_replay_job(spec: JobSpec) -> dict:
 def _run_chaos_job(spec: JobSpec) -> dict:
     from repro.faults.harness import run_chaos
 
+    kwargs = {}
+    if spec.get("policy") is not None:
+        kwargs["policy"] = spec["policy"]
     report = run_chaos(spec["seed"], preset=spec.get("preset", "mixed"),
                        steps=spec.get("steps", 200),
-                       n_cpus=spec.get("n_cpus", 1))
+                       n_cpus=spec.get("n_cpus", 1), **kwargs)
     return {"report": report.to_dict()}
 
 

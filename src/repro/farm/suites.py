@@ -38,13 +38,15 @@ def _payloads(executor: Executor, specs: list[JobSpec]) -> list[dict]:
 
 
 def farm_chaos_suite(seeds, preset: str, steps: int,
-                     executor: Executor, n_cpus: int = 1) -> list:
+                     executor: Executor, n_cpus: int = 1,
+                     policy: str | None = None) -> list:
     """The chaos suite as a spec batch; returns verified ChaosReports in
-    seed order, exactly as :func:`repro.faults.run_chaos_suite` does."""
+    seed order, exactly as :func:`repro.faults.run_chaos_suite` does.
+    ``policy`` names a registered consistency policy (None == default)."""
     from repro.faults.harness import ChaosReport
 
     specs = [JobSpec.chaos(seed=seed, preset=preset, steps=steps,
-                           n_cpus=n_cpus)
+                           n_cpus=n_cpus, policy=policy)
              for seed in seeds]
     return [ChaosReport.from_dict(payload["report"])
             for payload in _payloads(executor, specs)]

@@ -53,6 +53,7 @@ from repro.faults.injector import (CONSISTENCY_POINTS, DIVERGENCE_POINTS,
                                    FaultRule)
 from repro.hw.params import MachineConfig, small_machine
 from repro.kernel.kernel import Kernel
+from repro.policy import ConsistencyPolicy
 from repro.vm.policy import NEW_SYSTEM, PolicyConfig
 from repro.workloads.random_ops import AliasStressor
 
@@ -205,12 +206,15 @@ class ChaosReport:
 
 def run_chaos(seed: int, preset: str = "mixed", steps: int = 200,
               n_tasks: int = 3, n_pages: int = 4,
-              policy: PolicyConfig = NEW_SYSTEM,
+              policy: PolicyConfig | ConsistencyPolicy | str = NEW_SYSTEM,
               config: MachineConfig | None = None,
               conform: bool = True, trace: bool = False,
               n_cpus: int = 1) -> ChaosReport:
     """One seeded chaos run over the witness workload; returns the report
-    with invariant verification already applied.  With ``conform`` the
+    with invariant verification already applied.  ``policy`` accepts a
+    flag configuration, a registered policy name, or a
+    :class:`~repro.policy.ConsistencyPolicy` instance — external
+    strategies (``rlt``, ``vespa``) run under the same invariant.  With ``conform`` the
     lockstep conformance shadow records divergences alongside the value
     oracle (see invariant 2 for how they are attributed).  With ``trace``
     the structured event bus records the run, so every injection and
@@ -417,22 +421,30 @@ def run_chaos_suite(seeds, preset: str = "mixed", steps: int = 200,
     With ``jobs > 1`` (or an explicit farm ``executor``) the suite runs
     as a sharded spec batch on the simulation farm — identical reports
     in seed order, sharding and caching per the executor — which only
-    covers the (seed, preset, steps, n_cpus) surface: custom kernels or
-    machines (``**kwargs``) are not content-addressable and stay serial.
+    covers the (seed, preset, steps, n_cpus, policy-by-name) surface:
+    custom kernels or machines (``**kwargs``) are not
+    content-addressable and stay serial.
     """
     if jobs <= 1 and executor is None:
         return [run_chaos(seed, preset=preset, steps=steps, n_cpus=n_cpus,
                           **kwargs)
                 for seed in seeds]
+    policy = kwargs.pop("policy", None)
+    if policy is not None and not isinstance(policy, str):
+        raise ConfigurationError(
+            "the farmed chaos suite shards policies by registered name; "
+            "pass a string (or run jobs=1 for a policy object)")
     if kwargs:
         raise ConfigurationError(
             f"the farmed chaos suite shards only (seed, preset, steps, "
-            f"n_cpus); run jobs=1 for custom arguments {sorted(kwargs)}")
+            f"n_cpus, policy); run jobs=1 for custom arguments "
+            f"{sorted(kwargs)}")
     from repro.farm import Executor, farm_chaos_suite
 
     if executor is None:
         executor = Executor(jobs=jobs)
-    return farm_chaos_suite(seeds, preset, steps, executor, n_cpus=n_cpus)
+    return farm_chaos_suite(seeds, preset, steps, executor, n_cpus=n_cpus,
+                            policy=policy)
 
 
 def render_suite(reports: list[ChaosReport]) -> str:

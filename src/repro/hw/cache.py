@@ -74,6 +74,12 @@ class Cache:
         # caches (unit tests) run without one.  Only the management
         # operations publish — never the word/run/page access paths.
         self.bus = None
+        # Exact-management mode (the reverse-lookup-table policy): a
+        # hardware table names the resident lines of the target frame, so
+        # flush/purge touch only those lines — the per-line miss-scan
+        # term of the cost model disappears.  Contents are unaffected;
+        # only the charged cycles change.
+        self.exact_management = False
 
         ways, sets = geometry.associativity, geometry.num_sets
         self._tags = np.full((ways, sets), _INVALID, dtype=np.int64)
@@ -484,10 +490,14 @@ class Cache:
                     self.hierarchy.note_memory_write(int(tag))
         self._tags[:, sets][match] = _INVALID
         self._dirty[:, sets][match] = False
-        lpp = self.geo.lines_per_page
-        cycles = (hits * self.cost.flush_line_hit
-                  + (lpp - hits) * self.cost.flush_line_miss
-                  + n_dirty * self.cost.write_back)
+        if self.exact_management:
+            cycles = (hits * self.cost.flush_line_hit
+                      + n_dirty * self.cost.write_back)
+        else:
+            lpp = self.geo.lines_per_page
+            cycles = (hits * self.cost.flush_line_hit
+                      + (lpp - hits) * self.cost.flush_line_miss
+                      + n_dirty * self.cost.write_back)
         self.clock.advance(cycles)
         self.counters.record_flush(self.name, reason, cycles)
         if self.bus is not None and self.bus.enabled:
@@ -513,6 +523,8 @@ class Cache:
         self._dirty[:, sets][match] = False
         if self.is_icache:
             cycles = self.cost.icache_purge_page
+        elif self.exact_management:
+            cycles = hits * self.cost.purge_line_hit
         else:
             lpp = self.geo.lines_per_page
             cycles = (hits * self.cost.purge_line_hit

@@ -182,6 +182,11 @@ class CostModel:
     # contents (Section 5.1).  Cost per page-sized purge of the icache.
     icache_purge_page: int = 128
 
+    # One reverse-lookup-table consult (the `rlt` policy): indexed by
+    # physical page, answered in a handful of cycles by dedicated
+    # hardware (arXiv 2108.00444 models it as a small SRAM walk).
+    rlt_lookup: int = 4
+
     uncached_word: int = 20             # word access that bypasses the cache
     fault_overhead: int = 300           # trap + dispatch + return for any fault
     dma_setup: int = 200                # programming a DMA transfer

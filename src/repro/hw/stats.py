@@ -142,6 +142,11 @@ class Counters:
     pages_copied: int = 0
     pages_made_uncached: int = 0  # Sun-style alias sets converted to uncached
 
+    # external consistency policies (zero under the paper's ladder)
+    rlt_lookups: int = 0      # reverse-lookup-table consults (rlt policy)
+    rlt_skipped_ops: int = 0  # flush/purge proven unnecessary by the RLT
+    superpage_mappings: int = 0  # superpage regions entered (vespa et al.)
+
     # fault recovery (all zero unless faults occur or are injected)
     disk_retries: int = 0           # disk/DMA transfers re-issued after a
                                     # transient failure (backoff charged)
@@ -237,6 +242,9 @@ class Counters:
             "pages_zero_filled": self.pages_zero_filled,
             "pages_copied": self.pages_copied,
             "pages_made_uncached": self.pages_made_uncached,
+            "rlt_lookups": self.rlt_lookups,
+            "rlt_skipped_ops": self.rlt_skipped_ops,
+            "superpage_mappings": self.superpage_mappings,
             "disk_retries": self.disk_retries,
             "tlb_parity_recoveries": self.tlb_parity_recoveries,
             "frames_quarantined": self.frames_quarantined,

@@ -28,6 +28,7 @@ from repro.kernel.filesystem import FileSystem
 from repro.kernel.pageout import PageoutDaemon
 from repro.kernel.task import Task
 from repro.kernel.unix_server import UnixServer
+from repro.policy import ConsistencyPolicy, resolve as resolve_policy
 from repro.vm.address_space import PageDescriptor, PageKind
 from repro.vm.free_list import FreePageList
 from repro.vm.pmap import Pmap
@@ -39,16 +40,23 @@ from repro.vm.vm_object import Backing, VMObject
 class Kernel:
     """One booted instance of the simulated system."""
 
-    def __init__(self, policy: PolicyConfig = NEW_SYSTEM,
+    def __init__(self,
+                 policy: PolicyConfig | ConsistencyPolicy | str = NEW_SYSTEM,
                  config: MachineConfig | None = None,
                  buffer_cache_pages: int = 64,
                  with_unix_server: bool = True):
-        self.policy = policy
+        # ``policy`` accepts a registered name ("F", "rlt"), a
+        # ConsistencyPolicy, or a bare PolicyConfig (the seed-era API).
+        # ``self.cpolicy`` is the hook object the pmap consults;
+        # ``self.policy`` stays the flag bag every flag consumer reads.
+        self.cpolicy = resolve_policy(policy)
+        self.policy = self.cpolicy.flags
         self.machine = Machine(config or MachineConfig())
-        self.pmap = Pmap(self.machine, policy)
+        self.pmap = Pmap(self.machine, self.cpolicy)
         ncp = self.machine.dcache.geo.num_cache_pages
         self.free_list = FreePageList(range(self.machine.config.phys_pages),
-                                      ncp, colored=policy.colored_free_list)
+                                      ncp,
+                                      colored=self.policy.colored_free_list)
         self.tasks: dict[int, Task] = {}
         self._asids = itertools.count(1)
         self._global_va_cursor = itertools.count(16)
@@ -81,6 +89,14 @@ class Kernel:
         if len(self.free_list) < self.pageout.low_water:
             self.pageout.maybe_reclaim()
         return self.free_list.allocate(color)
+
+    def allocate_frame_run(self, npages: int) -> list[int]:
+        """Allocate ``npages`` physically contiguous frames (superpage
+        backing).  Reclaims once under memory pressure, like
+        :meth:`allocate_frame`."""
+        if len(self.free_list) < max(self.pageout.low_water, npages):
+            self.pageout.maybe_reclaim()
+        return self.free_list.allocate_run(npages)
 
     def free_frame(self, ppage: int) -> None:
         if ppage in self.quarantined:

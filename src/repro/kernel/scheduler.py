@@ -94,6 +94,10 @@ class Scheduler:
             tasklet = queue.popleft()
             tasklet.quanta += 1
             ran += 1
+            # Policy hook at the context switch: a no-op for every policy
+            # shipped here (the caches are physically tagged), but the
+            # decision point exists for strategies that flush on switch.
+            self.kernel.cpolicy.on_context_switch(self.kernel, tasklet)
             try:
                 next(tasklet.gen)
             except StopIteration:

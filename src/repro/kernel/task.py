@@ -53,6 +53,36 @@ class Task:
                 PageKind.ANON, vm_object, i, vm_prot))
         return start
 
+    def map_superpage(self, npages: int,
+                      vm_prot: Prot = Prot.READ_WRITE) -> int:
+        """Allocate a superpage region: ``npages`` physically contiguous
+        frames mapped to an index-aligned virtual run; returns the first
+        vpage.
+
+        The region is materialized eagerly (a device buffer must exist
+        before the device writes it) and its frames stay wired — they are
+        not candidates for pageout.  Because both the frame run and the
+        virtual run are consecutive and the bases align modulo the number
+        of cache pages, every page satisfies
+        ``vpage % ncp == ppage % ncp`` — the property a superpage-aware
+        policy (VESPA) exploits; under the paper's policies the region is
+        just ``npages`` ordinary mappings.
+        """
+        kernel = self.kernel
+        frames = kernel.allocate_frame_run(npages)
+        ncp = kernel.machine.dcache.geo.num_cache_pages
+        start = self.space.allocate_vpages(npages, color=frames[0] % ncp)
+        vm_object = VMObject(npages, Backing.ZERO_FILL)
+        for i in range(npages):
+            kernel.pmap.zero_fill_page(frames[i], ultimate_vpage=start + i)
+            vm_object.establish(i, frames[i])
+            self.space.map_page(start + i, PageDescriptor(
+                PageKind.SHARED, vm_object, i, vm_prot))
+        kernel.pmap.enter_superpage(self.asid, start, frames[0], npages,
+                                    vm_prot)
+        kernel.machine.counters.superpage_mappings += 1
+        return start
+
     def map_shared(self, vm_object: VMObject, vm_prot: Prot,
                    fixed_vpage: int | None = None,
                    color: int | None = None) -> int:

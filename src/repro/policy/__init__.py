@@ -1,0 +1,19 @@
+"""Pluggable consistency policies: the paper's ladder plus external
+strategies (reverse-lookup tables, superpage-aware VIPT) behind one
+registry.  See docs/policies.md for the interface contract."""
+
+from repro.policy.base import ConsistencyPolicy
+from repro.policy.registry import (all_policies, get_policy, register,
+                                   resolve)
+from repro.policy.rlt import ReverseLookupPolicy
+from repro.policy.vespa import VespaPolicy
+
+__all__ = [
+    "ConsistencyPolicy",
+    "ReverseLookupPolicy",
+    "VespaPolicy",
+    "all_policies",
+    "get_policy",
+    "register",
+    "resolve",
+]

@@ -1,0 +1,210 @@
+"""The pluggable consistency-policy engine: hooks at every decision
+point the pmap used to branch on :class:`~repro.vm.policy.PolicyConfig`
+flags for.
+
+A :class:`ConsistencyPolicy` is an object with a named strategy and a
+hook for each place the machine-dependent VM layer makes a
+consistency-management decision:
+
+========================  =====================================================
+Hook                      Decision
+========================  =====================================================
+``setup``                 one-time attachment to a booted pmap (e.g. turn on
+                          exact-cost cache management)
+``wants_uncached``        should this new mapping convert the frame's alias
+                          set to uncached access? (Sun)
+``on_map``                extra cleaning when a translation is created
+                          (Tut per-VA state, old-system alias breaking)
+``on_unmap``              cleaning when a translation is broken (eager vs lazy)
+``on_alias_fault``        extra work when a consistency fault is resolved
+``prepare_plan``          which cache page a frame is prepared through, and
+                          the ``will_overwrite`` / ``need_data`` semantics
+``read_window``           which cache page a frame is read through
+``on_dma_read``           cache management before a device reads a frame
+``on_dma_write``          cache management before a device writes a frame
+``do_flush``/``do_purge`` how a decided flush/purge is actually carried out
+                          (the reverse-lookup table intercepts here)
+``enter_superpage``       mapping a physically contiguous, index-aligned run
+                          of frames as one superpage region
+``on_context_switch``     per-quantum work when the scheduler switches tasks
+``waives_missed_action``  conformance: is a model-required action this policy
+                          provably did not need? (see docs/policies.md)
+========================  =====================================================
+
+The **default implementation of every hook is exactly the legacy flag
+behaviour**, reading ``self.flags`` — so a ``ConsistencyPolicy`` wrapped
+around any :class:`PolicyConfig` is bit-identical to the seed flag path
+(property-tested in ``tests/policy/test_degeneracy.py``), and an external
+strategy overrides only the hooks where it genuinely differs.
+
+Policies are stateless singletons: all per-run state lives on the pmap /
+machine passed into each hook, so one registered instance serves any
+number of concurrent kernels (the farm forks them freely).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.states import MemoryOp
+from repro.hw.stats import Reason
+from repro.vm.policy import PolicyConfig
+from repro.vm.prot import AccessKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.page_state import PhysPageState
+    from repro.vm.pagetable import PageTableEntry
+    from repro.vm.pmap import Pmap
+    from repro.vm.prot import Prot
+
+
+class ConsistencyPolicy:
+    """One consistency-management strategy; defaults replicate the flags.
+
+    Attributes:
+        flags: the :class:`PolicyConfig` flag bag consumed by the parts
+            of the kernel that are genuinely flag-like (free-list
+            coloring, address-selection, the global address space).
+        name: registry name (defaults to ``flags.name``).
+        description: one-line summary (defaults to ``flags.description``).
+        origin: where the strategy comes from — ``"paper"`` (the A–F
+            ladder and G), ``"table5"`` (the related-systems rows), or
+            ``"external"`` (strategies beyond the 1992 design space).
+    """
+
+    def __init__(self, flags: PolicyConfig, *, name: str | None = None,
+                 description: str | None = None, origin: str = "paper"):
+        self.flags = flags
+        self.name = name if name is not None else flags.name
+        self.description = (description if description is not None
+                            else flags.description)
+        self.origin = origin
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}(name={self.name!r}, "
+                f"origin={self.origin!r})")
+
+    # ---- lifecycle ---------------------------------------------------------
+
+    def setup(self, pmap: "Pmap") -> None:
+        """Called once from ``Pmap.__init__`` after the engine is built."""
+
+    # ---- mapping entry / removal -------------------------------------------
+
+    def wants_uncached(self, pmap: "Pmap", state: "PhysPageState",
+                       vpage: int) -> bool:
+        """Should this new mapping turn the frame's alias set uncached?"""
+        return (self.flags.uncached_aliases
+                and pmap._needs_uncached(state, vpage))
+
+    def on_map(self, pmap: "Pmap", state: "PhysPageState", asid: int,
+               vpage: int, access: AccessKind, reason: Reason) -> None:
+        """Pre-engine work when a translation is created."""
+        if self.flags.tut_equal_va_only:
+            pmap._tut_clean(state, vpage, reason)
+        if self.flags.eager_break_aliases:
+            pmap._eager_break(state, asid, vpage, access)
+
+    def on_unmap(self, pmap: "Pmap", state: "PhysPageState",
+                 cache_page: int, reason: Reason) -> None:
+        """Cleaning when a translation is broken (Section 2.5 vs 2.3)."""
+        if not self.flags.lazy_unmap:
+            pmap._eager_clean(state, cache_page, reason)
+
+    def on_alias_fault(self, pmap: "Pmap", state: "PhysPageState",
+                       asid: int, vpage: int, access: AccessKind) -> None:
+        """Pre-engine work when a consistency fault is resolved."""
+        if self.flags.eager_break_aliases:
+            pmap._eager_break(state, asid, vpage, access)
+
+    # ---- page preparation ---------------------------------------------------
+
+    def prepare_plan(self, pmap: "Pmap", state: "PhysPageState",
+                     ppage: int,
+                     ultimate_vpage: int | None) -> tuple[int, bool, bool]:
+        """``(prep_cache_page, will_overwrite, need_data)`` for preparing
+        ``ppage`` (zero-fill or copy destination)."""
+        return (pmap._prep_cache_page(ppage, ultimate_vpage),
+                self.flags.opt_will_overwrite,
+                not self.flags.opt_need_data)
+
+    def read_window(self, pmap: "Pmap", state: "PhysPageState",
+                    src_ppage: int) -> int:
+        """Cache page through which the kernel reads a frame's contents."""
+        if state.cache_dirty and self.flags.aligned_prepare:
+            # Read through the cache page where the data is already dirty:
+            # aligned, so no flush is needed.
+            return state.find_mapped_cache_page()
+        return src_ppage % pmap.ncp
+
+    # ---- DMA preparation ----------------------------------------------------
+
+    def on_dma_read(self, pmap: "Pmap", state: "PhysPageState") -> None:
+        """Before a device reads the frame (flush dirty data to memory)."""
+        pmap.engine(state, MemoryOp.DMA_READ, reason=Reason.DMA_READ)
+        pmap._post_engine(state)
+
+    def on_dma_write(self, pmap: "Pmap", state: "PhysPageState") -> None:
+        """Before a device writes the frame (purge dirty data, mark every
+        cached copy stale)."""
+        pmap.engine(state, MemoryOp.DMA_WRITE, need_data=False,
+                    reason=Reason.DMA_WRITE)
+        pmap._post_engine(state)
+
+    # ---- how decided operations are carried out -----------------------------
+
+    def do_flush(self, pmap: "Pmap", cache_page: int, ppage: int,
+                 reason: Reason) -> None:
+        """Carry out a flush the engine (or an eager path) decided on."""
+        pmap.machine.dcache.flush_page_frame(cache_page,
+                                             pmap._pa_base(ppage), reason)
+
+    def do_purge(self, pmap: "Pmap", cache_page: int, ppage: int,
+                 reason: Reason) -> None:
+        """Carry out a purge the engine (or an eager path) decided on."""
+        pmap.machine.dcache.purge_page_frame(cache_page,
+                                             pmap._pa_base(ppage), reason)
+
+    # ---- superpages ---------------------------------------------------------
+
+    def enter_superpage(self, pmap: "Pmap", asid: int, base_vpage: int,
+                        base_ppage: int, npages: int,
+                        vm_prot: "Prot") -> None:
+        """Map ``npages`` physically contiguous frames starting at
+        ``base_ppage`` to the virtual run starting at ``base_vpage``.
+
+        The default treats the region as ``npages`` ordinary 4K mappings
+        run through the normal consistency algorithm — superpages gain
+        nothing under the paper's policies, which is exactly the baseline
+        VESPA improves on.
+        """
+        for i in range(npages):
+            pte = pmap.enter(asid, base_vpage + i, base_ppage + i, vm_prot,
+                             AccessKind.WRITE, reason=Reason.NEW_MAPPING)
+            pte.superpage = True
+            pmap.state_of(base_ppage + i).superpage = True
+
+    # ---- scheduling ---------------------------------------------------------
+
+    def on_context_switch(self, kernel, tasklet) -> None:
+        """Per-quantum hook when the scheduler is about to run a tasklet.
+
+        The paper's policies (and both external strategies shipped here)
+        need no per-switch work on a physically tagged cache; policies for
+        virtually *tagged* caches would flush here.
+        """
+
+    # ---- conformance --------------------------------------------------------
+
+    def waives_missed_action(self, kernel, cache, frame: int,
+                             action) -> bool:
+        """May the lockstep monitor excuse a model-required flush/purge
+        this policy did not perform?
+
+        The Table 2 model is exact for the paper's policies, so the
+        default waives nothing.  A policy with better information than
+        the model (e.g. the reverse-lookup table) overrides this with a
+        *provable-harmlessness* predicate; see docs/policies.md for the
+        soundness argument the override must satisfy.
+        """
+        return False

@@ -1,0 +1,87 @@
+"""Superpage-aware VIPT consistency management (VESPA, arXiv 1701.03499).
+
+On a virtually indexed cache the synonym problem exists because the
+index bits above the page offset come from the *virtual* address.  A
+superpage mapping — a physically contiguous, index-aligned run of frames
+mapped to an equally contiguous virtual run — pins those bits: for every
+page of the region ``vpage % num_cache_pages == ppage % num_cache_pages``,
+so the cache index is physically determined and **no synonym can ever
+exist** for a superpage-backed frame.  VESPA exploits exactly this to
+drop alias management on superpage regions:
+
+* :meth:`enter_superpage` installs the translations with the cache
+  protection permanently ``READ_WRITE`` and **does not run the
+  consistency engine** — there is nothing for it to do, no alias can
+  appear, and no consistency fault is ever taken on the region;
+* DMA input (:meth:`on_dma_write`) purges the frame's one possible cache
+  page *eagerly* instead of marking it stale and revoking protections —
+  the lazy machinery exists to catch the *next* aliased access, and a
+  superpage region has none to catch.
+
+Outside superpage regions the policy is exactly configuration F, so the
+strategy composes with everything else the kernel does.  The Table 2
+conformance monitor needs **no waivers** for VESPA: the eager DMA purge
+is an observable cache operation the model folds in, after which the
+model demands nothing the implementation skipped.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+from repro.hw.stats import Reason
+from repro.policy.base import ConsistencyPolicy
+from repro.vm.policy import CONFIG_F
+from repro.vm.prot import Prot
+
+
+class VespaPolicy(ConsistencyPolicy):
+    """Configuration F plus alias-free superpage regions."""
+
+    def __init__(self):
+        super().__init__(
+            CONFIG_F.derive(
+                "vespa",
+                "F + superpage-aware VIPT: no alias management on "
+                "superpage regions (arXiv 1701.03499)"),
+            origin="external")
+
+    def enter_superpage(self, pmap, asid: int, base_vpage: int,
+                        base_ppage: int, npages: int, vm_prot) -> None:
+        ncp = pmap.ncp
+        if base_vpage % ncp != base_ppage % ncp:
+            raise KernelError(
+                "vespa superpage requires index-aligned bases",
+                base_vpage=base_vpage, base_ppage=base_ppage)
+        for i in range(npages):
+            vpage, ppage = base_vpage + i, base_ppage + i
+            state = pmap.state_of(ppage)
+            pmap.sync_modified(state)
+            state.superpage = True
+            state.add_mapping(asid, vpage)
+            # The frame was just prepared through its (physically
+            # determined) cache page; record that residency and install
+            # the translation with full cache protection — it will never
+            # be revoked, so the region takes zero consistency faults.
+            state.mapped[ppage % ncp] = True
+            pte = pmap.page_table(asid).enter(vpage, ppage, vm_prot,
+                                              cache_prot=Prot.READ_WRITE)
+            pte.superpage = True
+            state.last_vpage = vpage
+            pmap.machine.tlb.invalidate(asid, vpage)
+
+    def on_dma_write(self, pmap, state) -> None:
+        if not state.superpage:
+            return super().on_dma_write(pmap, state)
+        # The frame can only ever live at one cache page.  Purge it now
+        # (device data must not be shadowed by, or overwritten with, a
+        # cached copy) and keep the translations writable: with no
+        # synonyms possible there is no reason to take a fault later.
+        cp = state.ppage % pmap.ncp
+        pmap._purge_cache_page(cp, state.ppage, Reason.DMA_WRITE)
+        state.mapped.clear_all()
+        state.stale.clear_all()
+        # PRESENT, not EMPTY: the next access refills from memory, and
+        # keeping the residency bit lets the modified-bit shortcut fold
+        # later stores into cache_dirty (exactly as a flush would).
+        state.mapped[cp] = True
+        state.cache_dirty = False

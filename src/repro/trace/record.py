@@ -314,7 +314,18 @@ def compile_workload(workload, policy, config=None, buffer_cache_pages=48,
     from repro.analysis.experiments import evaluation_machine
     from repro.errors import ConfigurationError
     from repro.kernel.kernel import Kernel
+    from repro.policy import resolve
 
+    policy = resolve(policy)
+    if policy.origin == "external":
+        # Replay recomputes flush/purge costs from the encoded geometry
+        # and cost model alone; an external strategy's hook behaviour
+        # (exact-cost management, out-of-band lookup charges, superpage
+        # short-circuits) lives in the kernel, which replay bypasses.
+        raise ConfigurationError(
+            f"trace compilation supports only the paper's flag-bag "
+            f"policies; {policy.name!r} is an external strategy the "
+            f"replay interpreter cannot reconstruct")
     if config is None:
         config = evaluation_machine()
     if config.has_hierarchy:

@@ -54,6 +54,39 @@ class FreePageList:
             return fullest.popleft()
         raise OutOfMemoryError("free page list exhausted")
 
+    def allocate_run(self, npages: int) -> list[int]:
+        """Take ``npages`` *physically contiguous* frames (superpage
+        backing: the physical contiguity is what lets an index-aligned
+        virtual run pin the cache index bits).
+
+        Scans the free frames for the lowest-numbered consecutive run;
+        container order (FIFO/LIFO warmth, coloring) is irrelevant here —
+        contiguity is a property of frame numbers, not of recency.
+        """
+        if npages <= 0:
+            raise ValueError(f"superpage run must be positive, got {npages}")
+        free = sorted(self._plain)
+        for bucket in self._by_color.values():
+            free.extend(bucket)
+        free.sort()
+        run_start = 0
+        for i in range(1, len(free) + 1):
+            if i < len(free) and free[i] == free[i - 1] + 1:
+                continue
+            if i - run_start >= npages:
+                frames = free[run_start:run_start + npages]
+                taken = set(frames)
+                self._plain = deque(p for p in self._plain
+                                    if p not in taken)
+                for color, bucket in self._by_color.items():
+                    if taken & set(bucket):
+                        self._by_color[color] = deque(
+                            p for p in bucket if p not in taken)
+                return frames
+            run_start = i
+        raise OutOfMemoryError(
+            f"no run of {npages} contiguous free frames")
+
     def free(self, ppage: int, color: int | None = None) -> None:
         """Return a frame, remembering the cache page of its last mapping."""
         if self.colored and color is not None:

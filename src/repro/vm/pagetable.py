@@ -22,13 +22,17 @@ class PageTableEntry:
     """One installed virtual-to-physical translation.
 
     ``uncached`` routes accesses around the cache entirely — the Sun
-    system's treatment of unaligned aliases (Section 6).
+    system's treatment of unaligned aliases (Section 6).  ``superpage``
+    marks a translation that belongs to a physically contiguous,
+    index-aligned superpage region (see ``Pmap.enter_superpage``); a
+    superpage-aware policy never revokes its cache protection.
     """
 
     ppage: int
     vm_prot: Prot
     cache_prot: Prot = Prot.READ_WRITE
     uncached: bool = False
+    superpage: bool = False
 
     @property
     def effective_prot(self) -> Prot:

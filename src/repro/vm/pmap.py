@@ -16,8 +16,12 @@ Everything Section 4 describes lives here:
 
 The pmap is policy-parameterized: the same code implements the paper's
 "new" system (configuration F), the "old" eager system (configuration A),
-every rung of the B–F ladder, and the Tut per-virtual-address emulation —
-the flags come from :class:`repro.vm.policy.PolicyConfig`.
+every rung of the B–F ladder, and the Tut per-virtual-address emulation.
+Every decision point delegates to a :class:`ConsistencyPolicy` hook
+(``self.cpolicy``); the default hooks read the legacy
+:class:`repro.vm.policy.PolicyConfig` flags (``self.policy``), and
+external strategies (reverse-lookup tables, superpage-aware VIPT)
+override only the hooks where they differ — see ``repro.policy``.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.core.states import LineState, MemoryOp
 from repro.errors import KernelError, ReproError
 from repro.hw.machine import Machine
 from repro.hw.stats import Reason
+from repro.policy.base import ConsistencyPolicy
 from repro.vm.pagetable import PageTable, PageTableEntry
 from repro.vm.policy import PolicyConfig
 from repro.vm.prot import AccessKind, Prot
@@ -38,9 +43,13 @@ from repro.vm.prot import AccessKind, Prot
 class Pmap:
     """Machine-dependent mapping layer with pluggable consistency policy."""
 
-    def __init__(self, machine: Machine, policy: PolicyConfig):
+    def __init__(self, machine: Machine,
+                 policy: PolicyConfig | ConsistencyPolicy):
+        if not isinstance(policy, ConsistencyPolicy):
+            policy = ConsistencyPolicy(policy)
         self.machine = machine
-        self.policy = policy
+        self.cpolicy = policy
+        self.policy = policy.flags
         self.page_size = machine.page_size
         self.ncp = machine.dcache.geo.num_cache_pages
         self.nicp = machine.icache.geo.num_cache_pages
@@ -52,9 +61,10 @@ class Pmap:
         self.engine = CacheControl(
             self._flush_cache_page, self._purge_cache_page,
             self._set_protection,
-            eager_purge_stale=policy.eager_purge_stale)
+            eager_purge_stale=self.policy.eager_purge_stale)
         machine.translation_source = self.translate
         machine.write_notifier = self.note_modified
+        self.cpolicy.setup(self)
 
     # ---- plumbing -------------------------------------------------------------
 
@@ -102,10 +112,8 @@ class Pmap:
                                    cache_page=cache_page) is not None:
                 # Run the operation twice: a flush is idempotent, so the
                 # duplicate must be harmless (and visibly charged).
-                self.machine.dcache.flush_page_frame(
-                    cache_page, self._pa_base(ppage), reason)
-        self.machine.dcache.flush_page_frame(cache_page,
-                                             self._pa_base(ppage), reason)
+                self.cpolicy.do_flush(self, cache_page, ppage, reason)
+        self.cpolicy.do_flush(self, cache_page, ppage, reason)
 
     def _purge_cache_page(self, cache_page: int, ppage: int,
                           reason: Reason) -> None:
@@ -121,10 +129,8 @@ class Pmap:
                 return
             if self.injector.fires("pmap.purge.duplicate", ppage=ppage,
                                    cache_page=cache_page) is not None:
-                self.machine.dcache.purge_page_frame(
-                    cache_page, self._pa_base(ppage), reason)
-        self.machine.dcache.purge_page_frame(cache_page,
-                                             self._pa_base(ppage), reason)
+                self.cpolicy.do_purge(self, cache_page, ppage, reason)
+        self.cpolicy.do_purge(self, cache_page, ppage, reason)
 
     def _frame_divergent(self, ppage: int) -> bool:
         """Does physical memory disagree with program order for ``ppage``?
@@ -214,8 +220,7 @@ class Pmap:
         if state.uncached and not state.mappings:
             # A frame that lived its previous life uncached starts clean.
             state.uncached = False
-        if self.policy.uncached_aliases and self._needs_uncached(state,
-                                                                 vpage):
+        if self.cpolicy.wants_uncached(self, state, vpage):
             return self._enter_uncached(state, asid, vpage, ppage, vm_prot,
                                         reason)
         if state.uncached:
@@ -227,10 +232,7 @@ class Pmap:
             state.last_vpage = vpage
             self.machine.tlb.invalidate(asid, vpage)
             return pte
-        if self.policy.tut_equal_va_only:
-            self._tut_clean(state, vpage, reason)
-        if self.policy.eager_break_aliases:
-            self._eager_break(state, asid, vpage, access)
+        self.cpolicy.on_map(self, state, asid, vpage, access, reason)
         state.add_mapping(asid, vpage)
         pte = self.page_table(asid).enter(vpage, ppage, vm_prot,
                                           cache_prot=Prot.NONE)
@@ -302,8 +304,7 @@ class Pmap:
         c = state.cache_page_of(vpage)
         state.last_cache_page = c
         state.last_vpage = vpage
-        if not self.policy.lazy_unmap:
-            self._eager_clean(state, c, reason)
+        self.cpolicy.on_unmap(self, state, c, reason)
         return pte.ppage
 
     def protect(self, asid: int, vpage: int, vm_prot: Prot) -> None:
@@ -314,6 +315,15 @@ class Pmap:
             raise KernelError(f"protect of unmapped vpage {vpage}")
         pte.vm_prot = vm_prot
         self.machine.tlb.invalidate(asid, vpage)
+
+    def enter_superpage(self, asid: int, base_vpage: int, base_ppage: int,
+                        npages: int, vm_prot: Prot) -> None:
+        """Map ``npages`` physically contiguous frames as one superpage
+        region (``base_vpage + i -> base_ppage + i``).  How much alias
+        management the region needs is the policy's call — VESPA installs
+        it fault-free, the paper's policies manage it page by page."""
+        self.cpolicy.enter_superpage(self, asid, base_vpage, base_ppage,
+                                     npages, vm_prot)
 
     def _eager_clean(self, state: PhysPageState, cache_page: int,
                      reason: Reason) -> None:
@@ -392,13 +402,10 @@ class Pmap:
             op = MemoryOp.CPU_WRITE
             reason = Reason.ALIAS_WRITE
             self._note_icache_write(state)
-            if self.policy.eager_break_aliases:
-                self._eager_break(state, asid, vpage, access)
         else:
             op = MemoryOp.CPU_READ
             reason = Reason.ALIAS_READ
-            if self.policy.eager_break_aliases:
-                self._eager_break(state, asid, vpage, access)
+        self.cpolicy.on_alias_fault(self, state, asid, vpage, access)
         self.engine(state, op, vpage, reason=reason)
         self._post_engine(state)
         state.last_vpage = vpage
@@ -437,12 +444,7 @@ class Pmap:
         consistency (the CPU-read rules of the model)."""
         src_state = self.state_of(src_ppage)
         self.sync_modified(src_state)
-        if src_state.cache_dirty and self.policy.aligned_prepare:
-            # Read through the cache page where the data is already dirty:
-            # aligned, so no flush is needed.
-            src_cp = src_state.find_mapped_cache_page()
-        else:
-            src_cp = src_ppage % self.ncp
+        src_cp = self.cpolicy.read_window(self, src_state, src_ppage)
         self.engine(src_state, MemoryOp.CPU_READ, src_cp,
                     reason=Reason.ALIAS_READ)
         self._post_engine(src_state)
@@ -458,16 +460,19 @@ class Pmap:
         state = self.state_of(ppage)
         self.sync_modified(state)
         self._note_icache_write(state)
-        if state.uncached and not state.mappings:
+        if not state.mappings:
             state.uncached = False   # recycled frame starts a cached life
-        prep_cp = self._prep_cache_page(ppage, ultimate_vpage)
-        # The frame is completely overwritten, so stale data in the target
-        # cache page need not be purged first (will_overwrite, F); the
-        # frame's old dirty data is dead, so it can be purged rather than
-        # flushed (need_data=False, E).  Both gated by the policy.
+            state.superpage = False  # ...and an ordinary (4K-managed) one
+        # The policy decides the preparation window and the semantic
+        # flags: the frame is completely overwritten, so stale data in
+        # the target cache page need not be purged first (will_overwrite,
+        # F); the frame's old dirty data is dead, so it can be purged
+        # rather than flushed (need_data=False, E).
+        prep_cp, will_overwrite, need_data = self.cpolicy.prepare_plan(
+            self, state, ppage, ultimate_vpage)
         self.engine(state, MemoryOp.CPU_WRITE, prep_cp,
-                    will_overwrite=self.policy.opt_will_overwrite,
-                    need_data=not self.policy.opt_need_data,
+                    will_overwrite=will_overwrite,
+                    need_data=need_data,
                     reason=Reason.NEW_MAPPING)
         self.machine.dcache.write_page(prep_cp * self.page_size,
                                        self._pa_base(ppage), values)
@@ -494,8 +499,7 @@ class Pmap:
         self.sync_modified(state)
         if state.uncached:
             return  # uncached stores reach memory directly; nothing to flush
-        self.engine(state, MemoryOp.DMA_READ, reason=Reason.DMA_READ)
-        self._post_engine(state)
+        self.cpolicy.on_dma_read(self, state)
 
     def prepare_dma_write(self, ppage: int) -> None:
         """Before a device writes this frame: purge dirty cache data (it
@@ -520,9 +524,7 @@ class Pmap:
         self.sync_modified(state)
         if state.uncached:
             return  # no cached copies exist to shadow or overwrite the data
-        self.engine(state, MemoryOp.DMA_WRITE, need_data=False,
-                    reason=Reason.DMA_WRITE)
-        self._post_engine(state)
+        self.cpolicy.on_dma_write(self, state)
         # Instruction-cache copies are invalidated eagerly: the icache has
         # no protection machinery of its own.
         pa = self._pa_base(ppage)

@@ -143,4 +143,8 @@ def by_name(name: str) -> PolicyConfig:
     for config in CONFIG_LADDER + (CONFIG_GLOBAL,) + TABLE5_SYSTEMS:
         if config.name.lower() == name.lower():
             return config
-    raise KeyError(f"unknown policy configuration {name!r}")
+    valid = ", ".join(sorted(
+        (c.name for c in CONFIG_LADDER + (CONFIG_GLOBAL,) + TABLE5_SYSTEMS),
+        key=str.lower))
+    raise KeyError(f"unknown policy configuration {name!r}; "
+                   f"valid names: {valid}")

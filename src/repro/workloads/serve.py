@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import UserProcess
-from repro.vm.policy import NEW_SYSTEM, PolicyConfig, by_name
+from repro.vm.policy import NEW_SYSTEM, PolicyConfig
 
 #: every user stats, opens, reads and closes (4 syscalls)...
 BASE_SYSCALLS_PER_USER = 4
@@ -110,7 +110,8 @@ def run_serve_cohort(cohort: int, users: int,
     turns it on.
     """
     if isinstance(policy, str):
-        policy = by_name(policy)
+        from repro.policy import get_policy
+        policy = get_policy(policy)
     kernel = Kernel(policy=policy, buffer_cache_pages=buffer_cache_pages)
     monitor = None
     if conform:

@@ -1,0 +1,126 @@
+"""The superpage-aware VIPT policy (VESPA) and the superpage substrate.
+
+A superpage region pins the cache index physically: physically
+contiguous frames under an index-aligned virtual run mean no two virtual
+pages can disagree about where a frame's lines live, so the synonym
+problem vanishes by construction and the policy drops alias management
+on such regions entirely (arXiv 1701.03499).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import evaluation_machine, run_workload
+from repro.conformance import ConformanceMonitor
+from repro.errors import KernelError, OutOfMemoryError
+from repro.hw.stats import FaultKind
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import fork_task
+from repro.vm.prot import Prot
+from repro.workloads.superpage import SuperpageRx
+
+
+def make_kernel(policy="vespa", **overrides):
+    return Kernel(policy=policy, config=evaluation_machine(**overrides))
+
+
+class TestSuperpageSubstrate:
+    """map_superpage works under every policy; VESPA merely exploits it."""
+
+    @pytest.mark.parametrize("policy", ["A", "F", "vespa"])
+    def test_region_is_contiguous_and_index_aligned(self, policy):
+        kernel = make_kernel(policy)
+        ncp = kernel.machine.dcache.geo.num_cache_pages
+        task = kernel.create_task("sp")
+        start = task.map_superpage(6)
+        table = kernel.pmap.page_table(task.asid)
+        frames = [table.lookup(start + i).ppage for i in range(6)]
+        assert frames == list(range(frames[0], frames[0] + 6))
+        for i in range(6):
+            pte = table.lookup(start + i)
+            assert pte.superpage
+            assert (start + i) % ncp == pte.ppage % ncp
+            assert kernel.pmap.state_of(pte.ppage).superpage
+        assert kernel.machine.counters.superpage_mappings == 1
+
+    @pytest.mark.parametrize("policy", ["F", "vespa"])
+    def test_data_survives_cpu_and_dma_traffic(self, policy):
+        kernel = make_kernel(policy)
+        task = kernel.create_task("sp")
+        start = task.map_superpage(4)
+        for i in range(4):
+            task.write(start + i, 0, 0xC0DE + i)
+        frame = kernel.pmap.page_table(task.asid).lookup(start).ppage
+        payload = np.full(kernel.machine.page_size // 4, 77,
+                          dtype=np.uint32)
+        kernel.pmap.prepare_dma_write(frame)
+        kernel.machine.dma.dma_write(frame, payload)
+        assert task.read(start, 0) == 77          # device words visible
+        for i in range(1, 4):
+            assert task.read(start + i, 0) == 0xC0DE + i
+
+    def test_allocate_run_is_contiguous_and_removed_from_free_list(self):
+        kernel = make_kernel("F")
+        before = len(kernel.free_list)
+        frames = kernel.allocate_frame_run(5)
+        assert frames == list(range(frames[0], frames[0] + 5))
+        assert len(kernel.free_list) == before - 5
+        taken = set(frames)
+        # none of the taken frames can be handed out again
+        for _ in range(before - 5):
+            assert kernel.free_list.allocate() not in taken
+
+    def test_allocate_run_exhaustion_raises(self):
+        kernel = make_kernel("F")
+        with pytest.raises(OutOfMemoryError, match="contiguous"):
+            kernel.allocate_frame_run(10**6)
+        with pytest.raises(ValueError):
+            kernel.free_list.allocate_run(0)
+
+    def test_fork_does_not_inherit_the_region(self):
+        kernel = make_kernel("vespa")
+        parent = kernel.create_task("parent")
+        start = parent.map_superpage(2)
+        parent.write(start, 0, 5)
+        child = fork_task(kernel, parent)
+        assert child.space.descriptor(start) is None
+
+
+class TestVespaPolicy:
+    def test_misaligned_bases_rejected(self):
+        kernel = make_kernel("vespa")
+        ncp = kernel.machine.dcache.geo.num_cache_pages
+        with pytest.raises(KernelError, match="index-aligned"):
+            kernel.pmap.enter_superpage(asid=1, base_vpage=1,
+                                        base_ppage=ncp + 2, npages=1,
+                                        vm_prot=Prot.READ_WRITE)
+
+    def test_no_consistency_faults_on_superpage_traffic(self):
+        faults = {}
+        for policy in ("F", "vespa"):
+            kernel = make_kernel(policy)
+            run_workload(SuperpageRx(0.5), policy, kernel=kernel)
+            faults[policy] = \
+                kernel.machine.counters.faults[FaultKind.CONSISTENCY]
+        assert faults["vespa"] == 0
+        assert faults["F"] > 0
+
+    def test_ordinary_pages_still_managed(self):
+        # Off-region traffic behaves exactly like F: the policy only
+        # short-circuits pages marked superpage.
+        from repro.workloads.microbench import run_alias_write_loop
+        f_result = run_alias_write_loop(make_kernel("F"), 400, aligned=False)
+        v_result = run_alias_write_loop(make_kernel("vespa"), 400,
+                                        aligned=False)
+        assert v_result.consistency_faults == f_result.consistency_faults
+        assert v_result.cycles == f_result.cycles
+
+    def test_lockstep_shadow_stays_green_over_dma(self):
+        kernel = make_kernel("vespa")
+        monitor = ConformanceMonitor(kernel).attach()
+        try:
+            run_workload(SuperpageRx(0.5), "vespa", kernel=kernel)
+        finally:
+            monitor.detach()
+        assert monitor.ok, [str(d) for d in monitor.divergences]
+        assert monitor.events_seen > 0
